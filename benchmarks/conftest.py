@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation section.  Results are written as plain-text tables to
+``benchmarks/results/`` (so they survive pytest's output capturing) and the
+``benchmark`` fixture wraps a representative piece of the computation so the
+suite integrates with ``pytest-benchmark`` (``--benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def write_result(name: str, title: str, content: str) -> str:
+    """Write a reproduction artifact to ``benchmarks/results/<name>.txt``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(f"{title}\n{'=' * len(title)}\n\n{content}\n")
+    return path
+
+
+@pytest.fixture
+def record_table():
+    """Fixture returning a helper that formats and persists a result table."""
+
+    def _record(name: str, title: str, headers: Sequence[str],
+                rows: List[Sequence]) -> str:
+        content = format_table(headers, rows)
+        path = write_result(name, title, content)
+        return path
+
+    return _record

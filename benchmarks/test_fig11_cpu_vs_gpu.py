@@ -1,0 +1,53 @@
+"""Figure 11: mpGEMV kernels — T-MAC (CPU) vs llama.cpp (GPU) on Jetson AGX
+Orin.
+
+Compares the T-MAC CPU kernel latency against the llama.cpp CUDA backend for
+the three Llama-2-7B shapes at 1-4 bits on the Jetson AGX Orin (unified
+memory shared between CPU and iGPU).
+
+Expected shape: T-MAC wins outright at 1 bit on all shapes, is comparable at
+2-3 bits, and the GPU pulls ahead at 4 bits on the larger shapes — the
+crossover the paper uses to argue that CPUs are a practical deployment
+target.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gpu import gpu_gemv_latency
+from repro.core.config import TMACConfig
+from repro.hardware import CostModel, JETSON_AGX_ORIN
+from repro.workloads.shapes import KERNEL_SHAPES
+
+BITS = (1, 2, 3, 4)
+HEADERS = ["shape", "bits", "llama.cpp GPU (ms)", "T-MAC CPU (ms)",
+           "CPU/GPU ratio"]
+
+
+def test_fig11_cpu_vs_gpu(benchmark, record_table):
+    model = CostModel(JETSON_AGX_ORIN)
+    shapes = KERNEL_SHAPES[:3]  # the Llama-2-7B shapes used by the paper
+
+    rows = []
+    for shape in shapes:
+        for bits in BITS:
+            gpu = gpu_gemv_latency(JETSON_AGX_ORIN, shape.m, shape.k, bits)
+            cpu = model.tmac_gemv_latency(shape.m, shape.k,
+                                          TMACConfig(bits=bits))
+            rows.append([
+                str(shape), bits, f"{gpu.milliseconds:.3f}",
+                f"{cpu.milliseconds:.3f}",
+                f"{cpu.seconds / gpu.seconds:.2f}",
+            ])
+
+    record_table("fig11_cpu_vs_gpu_orin",
+                 "Figure 11 — T-MAC (CPU) vs llama.cpp (GPU) mpGEMV on "
+                 "Jetson AGX Orin (model)", HEADERS, rows)
+
+    # W1: the CPU wins on every shape.
+    one_bit = [r for r in rows if r[1] == 1]
+    assert all(float(r[3]) < float(r[2]) for r in one_bit)
+    # W4 on the largest shape: the GPU wins.
+    four_bit_large = [r for r in rows if r[1] == 4 and "11008" in r[0]]
+    assert any(float(r[2]) < float(r[3]) for r in four_bit_large)
+
+    benchmark(lambda: gpu_gemv_latency(JETSON_AGX_ORIN, 4096, 4096, 2))

@@ -1,0 +1,107 @@
+"""Figure 6: mpGEMV latency at 1/2/3/4 bits, llama.cpp vs T-MAC.
+
+Regenerates both panels of the paper's Figure 6 — single-threaded (a) and
+multi-threaded (b) mpGEMV latency for the six Llama-2-7B/13B weight shapes
+on the four Table 2 devices — from the roofline cost model.  The llama.cpp
+1-bit entries are deduced from the 2-bit kernel, exactly as the paper does.
+
+Expected shape of the result (recorded in EXPERIMENTS.md): T-MAC latency
+scales ~linearly with the bit width on every device; llama.cpp is flat from
+4 to 2 bits and slower at 3 bits; single-thread speedups are largest at
+1 bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.hardware import CostModel, EVALUATION_DEVICES
+from repro.workloads.shapes import KERNEL_SHAPES
+
+BITS = (1, 2, 3, 4)
+
+
+def _mpgemv_rows(threads_of):
+    """Latency rows (ms) for every device / shape / bit width."""
+    rows = []
+    for device in EVALUATION_DEVICES:
+        model = CostModel(device)
+        threads = threads_of(device)
+        for shape in KERNEL_SHAPES:
+            for bits in BITS:
+                tmac = model.tmac_gemv_latency(
+                    shape.m, shape.k, TMACConfig(bits=bits), threads=threads)
+                baseline_bits = 2 if bits == 1 else bits
+                dequant = model.dequant_gemv_latency(
+                    shape.m, shape.k, baseline_bits, threads=threads)
+                rows.append([
+                    device.name, shape.label, str(shape), bits, threads,
+                    f"{dequant.milliseconds:.3f}",
+                    f"{tmac.milliseconds:.3f}",
+                    f"{dequant.seconds / tmac.seconds:.2f}x",
+                    tmac.bound,
+                ])
+    return rows
+
+
+HEADERS = ["device", "shape", "MxKxN", "bits", "threads",
+           "llama.cpp (ms)", "T-MAC (ms)", "speedup", "T-MAC bound"]
+
+
+def test_fig6a_single_thread(benchmark, record_table):
+    """Figure 6a: single-threaded mpGEMV latency."""
+    rows = _mpgemv_rows(lambda device: 1)
+    record_table("fig6a_mpgemv_single_thread",
+                 "Figure 6a — single-threaded mpGEMV latency (model)",
+                 HEADERS, rows)
+
+    # Sanity: T-MAC scales linearly with bits on each device/shape.
+    for device_rows in _group_by(rows, key=lambda r: (r[0], r[1])):
+        latencies = [float(r[6]) for r in device_rows]
+        assert latencies == sorted(latencies)
+
+    model = CostModel(EVALUATION_DEVICES[0])
+    benchmark(lambda: model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=2),
+                                              threads=1))
+
+
+def test_fig6b_multi_thread(benchmark, record_table):
+    """Figure 6b: multi-threaded mpGEMV latency."""
+    rows = _mpgemv_rows(lambda device: device.default_threads)
+    record_table("fig6b_mpgemv_multi_thread",
+                 "Figure 6b — multi-threaded mpGEMV latency (model)",
+                 HEADERS, rows)
+
+    # Sanity: T-MAC is never slower than llama.cpp.
+    for row in rows:
+        assert float(row[6]) <= float(row[5]) * 1.01
+
+    model = CostModel(EVALUATION_DEVICES[0])
+    benchmark(lambda: model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=2)))
+
+
+def _group_by(rows, key):
+    groups = {}
+    for row in rows:
+        groups.setdefault(key(row), []).append(row)
+    return groups.values()
+
+
+@pytest.mark.parametrize("bits", BITS)
+def test_fig6_speedup_band(bits, benchmark):
+    """Max single-thread speedup per bit width lands in the paper's band
+    (paper maxima: 11.2x / 5.8x / 4.7x / 3.1x for 1/2/3/4 bits)."""
+    speedups = []
+    for device in EVALUATION_DEVICES:
+        model = CostModel(device)
+        for shape in KERNEL_SHAPES[:3]:
+            tmac = model.tmac_gemv_latency(shape.m, shape.k,
+                                           TMACConfig(bits=bits), threads=1)
+            dequant = model.dequant_gemv_latency(
+                shape.m, shape.k, 2 if bits == 1 else bits, threads=1)
+            speedups.append(dequant.seconds / tmac.seconds)
+    best = max(speedups)
+    expected_floor = {1: 5.0, 2: 3.0, 3: 2.5, 4: 1.5}[bits]
+    assert best > expected_floor
+    benchmark(lambda: max(speedups))

@@ -1,0 +1,58 @@
+"""Figure 9: power (W) and energy (J/token) on M2-Ultra.
+
+Combines the throughput estimates with the energy model for the three
+models of Figure 8 under multi-threaded inference on M2-Ultra.
+
+Expected shape: T-MAC draws ~10-20% less power than llama.cpp and cuts
+energy per token by roughly 20-60% depending on the model (paper: 20.6%,
+61.2%, 51.3% for M1/M2/M3).
+"""
+
+from __future__ import annotations
+
+from repro.energy import PowerModel
+from repro.hardware import M2_ULTRA
+from repro.llm import BITNET_3B, LLAMA_2_7B, estimate_token_throughput
+
+MODELS = [
+    ("M1 Llama-2-7B-4bit", LLAMA_2_7B, 4),
+    ("M2 Llama-2-7B-2bit", LLAMA_2_7B, 2),
+    ("M3 BitNet-3B (2-bit)", BITNET_3B, 2),
+]
+HEADERS = ["model", "engine", "power (W)", "energy (J/token)",
+           "energy reduction"]
+
+
+def _energy(engine: str, arch, bits):
+    power_model = PowerModel(M2_ULTRA)
+    est = estimate_token_throughput(M2_ULTRA, arch, bits, engine)
+    return power_model.cpu_token_energy(
+        est.seconds_per_token, est.instructions_per_token,
+        est.dram_gb_per_token, est.threads, engine=engine)
+
+
+def test_fig9_power_and_energy(benchmark, record_table):
+    rows = []
+    reductions = {}
+    for label, arch, bits in MODELS:
+        llama = _energy("llama.cpp", arch, bits)
+        tmac = _energy("tmac", arch, bits)
+        reduction = 1.0 - tmac.joules_per_token / llama.joules_per_token
+        reductions[label] = reduction
+        rows.append([label, "llama.cpp", f"{llama.watts:.1f}",
+                     f"{llama.joules_per_token:.3f}", "-"])
+        rows.append([label, "T-MAC", f"{tmac.watts:.1f}",
+                     f"{tmac.joules_per_token:.3f}", f"{reduction:.1%}"])
+        # T-MAC draws less power and less energy for every model.
+        assert tmac.watts < llama.watts
+        assert reduction > 0.1
+
+    record_table("fig9_power_energy_m2ultra",
+                 "Figure 9 — power and energy per token on M2-Ultra (model)",
+                 HEADERS, rows)
+
+    # The 2-bit Llama model shows the largest energy reduction, as in the
+    # paper (61.2% for M2 vs 20.6% for M1).
+    assert reductions["M2 Llama-2-7B-2bit"] > reductions["M1 Llama-2-7B-4bit"]
+
+    benchmark(lambda: _energy("tmac", LLAMA_2_7B, 2))

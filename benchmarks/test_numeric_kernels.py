@@ -1,0 +1,75 @@
+"""Wall-clock micro-benchmarks of the numerical kernels (pytest-benchmark).
+
+These time the actual numpy implementations in this repository (not the
+modeled edge-device latencies): T-MAC's precompute + lookup + aggregate
+pipeline versus the dequantization kernel and the fp reference, on a
+moderate shape.  They exist to keep the numerical kernels honest (no
+pathological slowdowns as the code evolves) and to exercise the
+pytest-benchmark integration; absolute numbers say nothing about the
+paper's devices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dequant_gemm import DequantGEMM
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+M, K = 256, 512
+
+
+@pytest.fixture(scope="module")
+def case():
+    weights = gaussian_weights(M, K, seed=0)
+    activation = gaussian_activation(1, K, seed=1)
+    qweight = quantize_weights(weights, bits=4, group_size=128)
+    return weights, activation, qweight
+
+
+def test_bench_tmac_gemv(benchmark, case):
+    _, activation, qweight = case
+    kernel = TMACKernel(qweight, TMACConfig(bits=4))
+    result = benchmark(kernel.matmul, activation)
+    assert result.shape == (1, M)
+
+
+def test_bench_tmac_gemv_fast_aggregation(benchmark, case):
+    _, activation, qweight = case
+    kernel = TMACKernel(qweight, TMACConfig(bits=4, fast_aggregation=True))
+    result = benchmark(kernel.matmul, activation)
+    assert result.shape == (1, M)
+
+
+def test_bench_dequant_gemv(benchmark, case):
+    _, activation, qweight = case
+    kernel = DequantGEMM(qweight)
+    result = benchmark(kernel.matmul, activation)
+    assert result.shape == (1, M)
+
+
+def test_bench_reference_gemv(benchmark, case):
+    weights, activation, _ = case
+    result = benchmark(lambda: activation @ weights.T)
+    assert result.shape == (1, M)
+
+
+def test_bench_lut_precompute(benchmark, case):
+    _, activation, qweight = case
+    kernel = TMACKernel(qweight, TMACConfig(bits=4))
+    table = benchmark(kernel.precompute, activation)
+    assert table.num_groups == K // 4
+
+
+def test_bench_offline_preprocessing(benchmark, case):
+    weights, _, _ = case
+
+    def preprocess():
+        qw = quantize_weights(weights, bits=2, group_size=128)
+        return TMACKernel(qw, TMACConfig(bits=2))
+
+    kernel = benchmark(preprocess)
+    assert kernel.bits == 2

@@ -1,0 +1,83 @@
+"""Kernel error analysis: how much accuracy do the T-MAC tricks cost?
+
+Reproduces the Section 5.6 analysis interactively: for a Llama-sized GEMV
+shape it measures the NMSE (against the un-quantized fp reference) of
+
+* the llama.cpp-style dequantization kernel,
+* T-MAC with exact aggregation (table quantization only), and
+* T-MAC with fast 8-bit aggregation,
+
+at every weight bit width, and prints the table-storage savings that mirror
+consolidation and table quantization buy.
+
+Run with:  python examples/kernel_error_analysis.py
+"""
+
+import numpy as np
+
+from repro.baselines.dequant_gemm import DequantGEMM
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.core.lut import lut_storage_bytes
+from repro.eval.nmse import nmse
+from repro.workloads.generator import make_gemv_case
+
+
+def error_table(m=1024, k=4096):
+    print(f"=== NMSE vs un-quantized fp GEMV, shape {m}x{k}x1 ===")
+    print(f"{'bits':>4} {'llama.cpp':>12} {'T-MAC':>12} {'T-MAC (+FA)':>12} "
+          f"{'FA inflation':>12}")
+    for bits in (4, 3, 2):
+        case = make_gemv_case(m, k, bits=bits, group_size=128, seed=bits)
+        reference = case.reference
+        llama = nmse(reference, DequantGEMM(case.qweight).matmul(case.activation))
+        tmac = nmse(reference, TMACKernel(
+            case.qweight, TMACConfig(bits=bits)).matmul(case.activation))
+        tmac_fa = nmse(reference, TMACKernel(
+            case.qweight, TMACConfig(bits=bits, fast_aggregation=True)
+        ).matmul(case.activation))
+        print(f"{bits:>4} {llama:>12.3e} {tmac:>12.3e} {tmac_fa:>12.3e} "
+              f"{tmac_fa / tmac:>11.2f}x")
+    print("\nReading: T-MAC's table quantization adds essentially nothing on "
+          "top of the weight quantization error (it matches llama.cpp); fast "
+          "aggregation is the only lossy optimization.\n")
+
+
+def storage_table(k=4096):
+    print(f"=== lookup-table storage for one activation row, K={k} ===")
+    combos = [
+        ("fp16 table, full length", False, False),
+        ("+ mirror consolidation", True, False),
+        ("+ table quantization", False, True),
+        ("both (T-MAC default)", True, True),
+    ]
+    baseline = lut_storage_bytes(1, k, 4, False, False)
+    for label, mirror, quant in combos:
+        size = lut_storage_bytes(1, k, 4, mirror, quant)
+        print(f"{label:<28} {size:>8d} bytes  ({baseline / size:.1f}x smaller)")
+    activation_bytes = k * 2
+    print(f"(fp16 activation itself: {activation_bytes} bytes — the raw g=4 "
+          f"table is 4x larger, the reduced one is equal in size)\n")
+
+
+def aggregation_bias_demo():
+    print("=== fast aggregation: where the error comes from ===")
+    rng = np.random.default_rng(0)
+    from repro.core.aggregation import exact_aggregate, fast_aggregate
+
+    values = rng.integers(-100, 100, size=(10000, 32))
+    exact = exact_aggregate(values, axis=-1)
+    fast = fast_aggregate(values, axis=-1)
+    bias = float(np.mean(fast - exact))
+    rms = float(np.sqrt(np.mean((fast - exact) ** 2)))
+    print(f"rounding-average tree over 32 int8 values: "
+          f"residual bias {bias:+.2f}, RMS error {rms:.1f} "
+          f"(values span ±100*32)")
+    print("The probabilistic bias is subtracted, so only the rounding noise "
+          "remains — that noise is the Table 3 NMSE inflation.")
+
+
+if __name__ == "__main__":
+    error_table()
+    storage_table()
+    aggregation_bias_demo()

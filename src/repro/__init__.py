@@ -1,0 +1,53 @@
+"""Reproduction of T-MAC: CPU Renaissance via Table Lookup for Low-Bit LLM
+Deployment on Edge (EuroSys 2025).
+
+The package is organised as a set of subsystems:
+
+``repro.core``
+    The paper's primary contribution: the LUT-based mixed-precision GEMM
+    (mpGEMM) kernel — bit-serial decomposition, online lookup-table
+    precomputation, mirror consolidation, table quantization, LUT-centric
+    data layout (tiling, permutation, interleaving) and fast aggregation.
+
+``repro.quant``
+    Weight/activation quantization substrate (uniform 1-4 bit, BitNet
+    ternary, int8 dynamic activation quantization).
+
+``repro.baselines``
+    Reference and dequantization-based (llama.cpp-style) kernels, plus BLAS,
+    GPU and NPU cost baselines.
+
+``repro.simd``
+    A SIMD instruction-counting machine that executes the T-MAC and the
+    dequantization inner loops with modeled TBL/PSHUF/rhadd instructions.
+
+``repro.hardware`` / ``repro.energy``
+    Edge-device catalogue (paper Tables 2 and 6), roofline latency model and
+    power/energy model.
+
+``repro.llm``
+    Transformer substrate (Llama-2-7B/13B and BitNet-3B architectures, a
+    runnable numpy transformer, KV-cache decode loop and an analytic
+    end-to-end throughput estimator).
+
+``repro.eval`` / ``repro.tuning`` / ``repro.workloads``
+    Kernel/model error analysis, tile-configuration tuning and the workload
+    shapes used throughout the paper's evaluation.
+"""
+
+from repro.core.config import TMACConfig
+from repro.core.gemm import tmac_gemm, tmac_gemv
+from repro.core.kernel import TMACKernel
+from repro.quant.uniform import QuantizedWeight, quantize_weights
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "TMACConfig",
+    "TMACKernel",
+    "tmac_gemm",
+    "tmac_gemv",
+    "QuantizedWeight",
+    "quantize_weights",
+    "__version__",
+]

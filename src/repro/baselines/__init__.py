@@ -1,0 +1,42 @@
+"""Baseline kernels and execution-engine cost models.
+
+Everything T-MAC is compared against in the paper lives here:
+
+* :mod:`repro.baselines.reference` — unquantized fp GEMM/GEMV (the ground
+  truth of the error analysis) and the dequantize-then-multiply reference.
+* :mod:`repro.baselines.dequant_gemm` — a numerical llama.cpp-style kernel:
+  block-quantize activations to int8, decode the low-bit weights per block,
+  integer dot product, rescale.  Its *numerical* behaviour feeds Table 3/4;
+  its *performance* comes from :func:`repro.simd.profile.profile_dequant_gemm`
+  evaluated by the roofline cost model.
+* :mod:`repro.baselines.blas_gemm` — the llama.cpp (BLAS) path used for
+  prefill-style mpGEMM (Figure 7): dequantize the whole weight matrix, then
+  run the platform BLAS.
+* :mod:`repro.baselines.gpu` — llama.cpp's CUDA/OpenCL GPU backend cost
+  model (Figure 11, Tables 5 and 7).
+* :mod:`repro.baselines.npu` — NPU throughput from vendor-published numbers
+  (Table 7).
+"""
+
+from repro.baselines.blas_gemm import blas_gemm_latency
+from repro.baselines.dequant_gemm import DequantGEMM, dequant_gemm, dequant_gemv
+from repro.baselines.gpu import gpu_gemv_latency, gpu_token_latency
+from repro.baselines.npu import npu_tokens_per_sec
+from repro.baselines.reference import (
+    quantized_reference_gemm,
+    reference_gemm,
+    reference_gemv,
+)
+
+__all__ = [
+    "reference_gemm",
+    "reference_gemv",
+    "quantized_reference_gemm",
+    "DequantGEMM",
+    "dequant_gemm",
+    "dequant_gemv",
+    "blas_gemm_latency",
+    "gpu_gemv_latency",
+    "gpu_token_latency",
+    "npu_tokens_per_sec",
+]

@@ -1,0 +1,74 @@
+"""llama.cpp (BLAS) baseline for prefill-style mpGEMM.
+
+For large sequence lengths llama.cpp hands the matrix-matrix multiplication
+to a BLAS library (Accelerate on Apple silicon — which uses the AMX
+coprocessor — and OpenBLAS elsewhere).  The weights must first be
+dequantized to floating point, which is modeled as streaming the packed
+weights, writing the fp16 copy and reading it back; the GEMM itself runs at
+the platform's sustained BLAS throughput.
+
+The paper compares T-MAC against this path in Figure 7 (sequence length 256)
+and notes that on M2-Ultra the AMX-backed BLAS remains faster than T-MAC
+except at 1 bit, while on the weaker devices T-MAC wins by up to ~4-5x.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.cost_model import KernelLatency
+from repro.hardware.device import Device
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["blas_gemm_latency"]
+
+
+def blas_gemm_latency(
+    device: Device,
+    n: int,
+    m: int,
+    k: int,
+    bits: int,
+    threads: Optional[int] = None,
+    group_size: int = 128,
+) -> KernelLatency:
+    """Latency of the dequantize-then-BLAS path for ``[N,K] x [M,K]^T``.
+
+    The estimate is the sum of
+
+    * dequantization traffic: read the packed ``bits``-bit weights and
+      scales, write the fp16 copy, read it back for the GEMM, and
+    * the GEMM compute time ``2*N*M*K`` FLOPs at the device's sustained
+      BLAS throughput,
+
+    with the dequantization conversion compute overlapped with its memory
+    traffic (the paper's assumption about the dequantization-based
+    approach).
+    """
+    threads = threads or device.default_threads
+    memory = MemoryModel(device.cpu)
+
+    packed_bytes = m * k * bits / 8 + 2 * m * (k / group_size)
+    fp_copy_bytes = m * k * 2
+    act_bytes = n * k * 2
+    out_bytes = n * m * 4
+    dequant_bytes = packed_bytes + 2 * fp_copy_bytes
+    gemm_bytes = act_bytes + out_bytes
+
+    memory_seconds = memory.dram_time_seconds(
+        dequant_bytes + gemm_bytes, threads, sequential=True
+    )
+
+    flops = 2.0 * n * m * k
+    compute_seconds = flops / (device.cpu.blas_gflops * 1e9)
+
+    seconds = compute_seconds + memory_seconds
+    bound = "compute" if compute_seconds >= memory_seconds else "memory"
+    return KernelLatency(
+        seconds=seconds,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        threads=threads,
+        bound=bound,
+        description=f"blas {n}x{k}x{m} b={bits} on {device.name}",
+    )

@@ -1,0 +1,157 @@
+"""llama.cpp-style dequantization-based mpGEMM (numerical kernel).
+
+This is the "general practice" of the paper's Figure 1/3: low-bit weights
+are decoded block-by-block to a hardware data type and multiplied against
+block-quantized int8 activations with an integer dot product, then rescaled.
+
+The kernel is numerically faithful to llama.cpp's ``Q*_0 x Q8_0`` path:
+
+* activations are dynamically quantized to int8 with one scale per
+  32-element block (``Q8_0``),
+* weight codes are recentred by their zero point inside each quantization
+  group and multiplied in the integer domain,
+* the block dot product is rescaled by ``weight_scale * activation_scale``.
+
+Its error relative to the unquantized reference is therefore the weight
+quantization error plus a small activation-quantization term — the
+"llama.cpp" column of Table 3.  Performance of this baseline is *not*
+measured from this Python loop; it comes from
+:func:`repro.simd.profile.profile_dequant_gemm` via the roofline model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.activation import quantize_activation
+from repro.quant.uniform import QuantizedWeight, quantize_weights
+
+__all__ = ["DequantGEMM", "dequant_gemm", "dequant_gemv"]
+
+
+class DequantGEMM:
+    """Dequantization-based mpGEMM kernel bound to one quantized weight matrix.
+
+    Parameters
+    ----------
+    qweight:
+        The quantized weights (same object the T-MAC kernel consumes, so the
+        two kernels can be compared on identical models).
+    act_block_size:
+        Activation quantization block size (llama.cpp's ``Q8_0`` uses 32).
+    quantize_activations:
+        When ``False``, activations are kept in floating point and only the
+        weights are dequantized (the W*A16 fp path); when ``True`` (default)
+        the int8 dot-product path is modeled.
+    """
+
+    def __init__(
+        self,
+        qweight: QuantizedWeight,
+        act_block_size: int = 32,
+        quantize_activations: bool = True,
+    ):
+        qweight.validate()
+        if qweight.group_size % act_block_size != 0 and \
+                act_block_size % qweight.group_size != 0:
+            raise ValueError(
+                "activation block size and weight group size must nest "
+                f"(got {act_block_size} and {qweight.group_size})"
+            )
+        self.qweight = qweight
+        self.act_block_size = act_block_size
+        self.quantize_activations = quantize_activations
+
+    @property
+    def out_features(self) -> int:
+        """M — output width."""
+        return self.qweight.out_features
+
+    @property
+    def in_features(self) -> int:
+        """K — reduction dimension."""
+        return self.qweight.in_features
+
+    def matmul(self, activation: np.ndarray) -> np.ndarray:
+        """Compute ``activation @ dequantize(W)^T`` the llama.cpp way."""
+        a = np.asarray(activation, dtype=np.float32)
+        squeeze = a.ndim == 1
+        if squeeze:
+            a = a[None, :]
+        if a.shape[1] != self.in_features:
+            raise ValueError(
+                f"activation K={a.shape[1]} does not match weight K="
+                f"{self.in_features}"
+            )
+
+        qw = self.qweight
+        m, k = qw.shape
+        n = a.shape[0]
+        num_groups = k // qw.group_size
+
+        # Decode weights group-wise into centred integer codes.
+        codes = qw.codes.reshape(m, num_groups, qw.group_size).astype(np.float64)
+        centred = codes - qw.zeros[:, :, None].astype(np.float64)
+
+        if self.quantize_activations:
+            qa = quantize_activation(a, block_size=self.act_block_size)
+            act_codes = qa.codes.reshape(n, k // self.act_block_size,
+                                         self.act_block_size).astype(np.float64)
+            act_scales = qa.scales.astype(np.float64)
+            # Align activation blocks with weight groups (whichever nests).
+            blocks_per_group = max(1, qw.group_size // self.act_block_size)
+            out = np.zeros((n, m), dtype=np.float64)
+            for g in range(num_groups):
+                w_block = centred[:, g, :]  # [M, group]
+                w_scale = qw.scales[:, g].astype(np.float64)  # [M]
+                for b in range(blocks_per_group):
+                    lo = b * self.act_block_size
+                    hi = lo + self.act_block_size
+                    a_block = act_codes[:, g * blocks_per_group + b, :]  # [N, bs]
+                    a_scale = act_scales[:, g * blocks_per_group + b]  # [N]
+                    dot = a_block @ w_block[:, lo:hi].T  # [N, M] integer dot
+                    out += dot * a_scale[:, None] * w_scale[None, :]
+        else:
+            w_deq = (centred * qw.scales[:, :, None]).reshape(m, k)
+            out = a.astype(np.float64) @ w_deq.T
+
+        out = out.astype(np.float32)
+        return out[0] if squeeze else out
+
+    __call__ = matmul
+
+
+def dequant_gemm(
+    activation: np.ndarray,
+    weights,
+    bits: int = 4,
+    group_size: int = 128,
+    act_block_size: int = 32,
+) -> np.ndarray:
+    """One-shot dequantization-based mpGEMM.
+
+    ``weights`` may be a :class:`QuantizedWeight` or a raw fp matrix (which
+    is quantized first, like :func:`repro.core.gemm.tmac_gemm` does).
+    """
+    if not isinstance(weights, QuantizedWeight):
+        weights = quantize_weights(np.asarray(weights), bits=bits,
+                                   group_size=group_size)
+    kernel = DequantGEMM(weights, act_block_size=act_block_size)
+    return kernel.matmul(activation)
+
+
+def dequant_gemv(
+    activation: np.ndarray,
+    weights,
+    bits: int = 4,
+    group_size: int = 128,
+    act_block_size: int = 32,
+) -> np.ndarray:
+    """One-shot dequantization-based mpGEMV (single activation row)."""
+    a = np.asarray(activation)
+    if a.ndim not in (1, 2) or (a.ndim == 2 and a.shape[0] != 1):
+        raise ValueError(
+            f"dequant_gemv expects a [K] vector or [1, K] matrix, got {a.shape}"
+        )
+    return dequant_gemm(a, weights, bits=bits, group_size=group_size,
+                        act_block_size=act_block_size)

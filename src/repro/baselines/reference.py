@@ -1,0 +1,50 @@
+"""Reference (unquantized and dequantization-based) GEMM implementations.
+
+These are the numerical ground truths of the evaluation:
+
+* :func:`reference_gemm` — full-precision ``A @ W^T`` (the "Un-quantized"
+  row of Table 4 and the denominator of the NMSE analysis in Table 3).
+* :func:`quantized_reference_gemm` — dequantize the low-bit weights and run
+  the full-precision GEMM.  Any mpGEMM kernel that introduces no error
+  beyond weight quantization (llama.cpp without activation quantization,
+  T-MAC without table quantization) must match this bit-for-bit up to
+  floating point accumulation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.uniform import QuantizedWeight, dequantize_weights
+
+__all__ = ["reference_gemm", "reference_gemv", "quantized_reference_gemm"]
+
+
+def reference_gemm(
+    activation: np.ndarray, weights: np.ndarray, dtype=np.float32
+) -> np.ndarray:
+    """Full-precision GEMM ``activation [N, K] @ weights [M, K]^T``."""
+    a = np.asarray(activation, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[None, :]
+    if a.shape[1] != w.shape[1]:
+        raise ValueError(
+            f"activation K={a.shape[1]} does not match weight K={w.shape[1]}"
+        )
+    return (a @ w.T).astype(dtype)
+
+
+def reference_gemv(
+    activation: np.ndarray, weights: np.ndarray, dtype=np.float32
+) -> np.ndarray:
+    """Full-precision GEMV for a single activation row."""
+    out = reference_gemm(np.atleast_2d(activation), weights, dtype)
+    return out[0] if np.asarray(activation).ndim == 1 else out
+
+
+def quantized_reference_gemm(
+    activation: np.ndarray, qweight: QuantizedWeight, dtype=np.float32
+) -> np.ndarray:
+    """Dequantize-then-multiply reference for a quantized weight matrix."""
+    return reference_gemm(activation, dequantize_weights(qweight), dtype)

@@ -1,0 +1,45 @@
+"""T-MAC core: LUT-based mixed-precision GEMM.
+
+This subpackage is the paper's primary contribution.  The typical flow is
+
+* offline: :func:`repro.core.weights.preprocess_weights` — bit-plane
+  decomposition, grouping, packing, tile permutation, interleaving;
+* online: :class:`repro.core.kernel.TMACKernel` — table precomputation
+  (:mod:`repro.core.lut`), lookups and aggregation
+  (:mod:`repro.core.aggregation`), bit-serial recombination
+  (:mod:`repro.core.bitserial`).
+
+:mod:`repro.core.tiling` holds the LUT-centric layout math (register
+footprints, working sets) consumed by the SIMD and cost models, and
+:mod:`repro.core.config` the feature flags used for the ablation study.
+"""
+
+from repro.core.aggregation import exact_aggregate, fast_aggregate
+from repro.core.bitserial import BitSerialTransform, compose_bits, decompose_bits
+from repro.core.config import TMACConfig, ablation_stages
+from repro.core.gemm import tmac_gemm, tmac_gemv
+from repro.core.kernel import TMACKernel
+from repro.core.lut import LookupTable, build_lut, lookup, precompute_lut
+from repro.core.tiling import TileConfig, default_tile_config
+from repro.core.weights import PreprocessedWeights, preprocess_weights
+
+__all__ = [
+    "TMACConfig",
+    "TMACKernel",
+    "TileConfig",
+    "LookupTable",
+    "PreprocessedWeights",
+    "BitSerialTransform",
+    "ablation_stages",
+    "build_lut",
+    "precompute_lut",
+    "lookup",
+    "preprocess_weights",
+    "default_tile_config",
+    "decompose_bits",
+    "compose_bits",
+    "exact_aggregate",
+    "fast_aggregate",
+    "tmac_gemm",
+    "tmac_gemv",
+]

@@ -1,0 +1,172 @@
+"""Bit-serial decomposition of low-bit weight matrices (paper Eq. 1).
+
+The fundamental transformation behind T-MAC is
+
+.. math::
+
+    A \\times W = A \\times \\Big(\\sum_{i=0}^{n-1} 2^i W_i\\Big)
+                = \\sum_{i=0}^{n-1} 2^i\\, (A \\times W_i),
+
+where :math:`W_i` is the i-th *bit plane* of the n-bit weight codes.  Each
+one-bit matrix multiplication is then realized by table lookups
+(:mod:`repro.core.lut`).
+
+The paper additionally applies a *bit-serial linear transformation*
+(Section 4): instead of computing with the raw bit values ``{0, 1}``, each
+bit is mapped to ``{s0, s1}`` — empirically ``{-1, +1}`` — which halves the
+dynamic range of the lookup tables and allows the mirror-consolidation
+trick.  The original product is recovered with per-bit multipliers
+:math:`\\alpha_i` and a bias term :math:`\\beta` that only depends on the
+activation row sums:
+
+.. math::
+
+    W = \\sum_i \\alpha_i 2^i W_i' + B, \\qquad
+    W_i' = f(W_i),\\; f(0)=s_0,\\; f(1)=s_1 .
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BitSerialTransform",
+    "decompose_bits",
+    "compose_bits",
+    "transform_bit_plane",
+    "aggregate_bit_results",
+]
+
+
+@dataclass(frozen=True)
+class BitSerialTransform:
+    """Linear map applied to the one-bit weight values before table lookup.
+
+    ``f(0) = s0`` and ``f(1) = s1``; the inverse map used during
+    aggregation is ``bit = alpha * f(bit) + beta`` with
+    ``alpha = 1 / (s1 - s0)`` and ``beta = -s0 / (s1 - s0)``.
+
+    The default ``(s0, s1) = (-1, +1)`` gives ``alpha = 0.5`` and
+    ``beta = 0.5`` and is the configuration the paper found optimal (it
+    avoids float multiplies during table precomputation and minimizes the
+    table's dynamic range).
+    """
+
+    s0: float = -1.0
+    s1: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.s0 == self.s1:
+            raise ValueError("s0 and s1 must differ")
+
+    @property
+    def alpha(self) -> float:
+        """Multiplier recovering the raw bit from the transformed value."""
+        return 1.0 / (self.s1 - self.s0)
+
+    @property
+    def beta(self) -> float:
+        """Bias recovering the raw bit from the transformed value."""
+        return -self.s0 / (self.s1 - self.s0)
+
+    def apply(self, bit_plane: np.ndarray) -> np.ndarray:
+        """Map a {0,1} bit plane to the transformed values {s0, s1}."""
+        plane = np.asarray(bit_plane)
+        return np.where(plane > 0, self.s1, self.s0).astype(np.float32)
+
+    def invert(self, transformed: np.ndarray) -> np.ndarray:
+        """Map transformed values {s0, s1} back to raw bits {0, 1}."""
+        values = np.asarray(transformed, dtype=np.float32)
+        return self.alpha * values + self.beta
+
+
+def decompose_bits(codes: np.ndarray, bits: int) -> List[np.ndarray]:
+    """Split unsigned integer codes into ``bits`` one-bit planes.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer array (any shape) with values in ``[0, 2**bits)``.
+    bits:
+        Number of bit planes to extract.
+
+    Returns
+    -------
+    list of ``uint8`` arrays
+        ``planes[i][...] = (codes >> i) & 1`` — least-significant plane first.
+    """
+    arr = np.asarray(codes)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"codes must be an integer array, got dtype {arr.dtype}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if arr.size and int(arr.max()) >= (1 << bits):
+        raise ValueError(
+            f"codes contain values >= 2**{bits}; they do not fit in {bits} bits"
+        )
+    work = arr.astype(np.uint32)
+    return [((work >> i) & 1).astype(np.uint8) for i in range(bits)]
+
+
+def compose_bits(planes: Sequence[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`decompose_bits`: rebuild codes from bit planes."""
+    if not planes:
+        raise ValueError("at least one bit plane is required")
+    result = np.zeros_like(np.asarray(planes[0], dtype=np.uint32))
+    for i, plane in enumerate(planes):
+        result |= (np.asarray(plane, dtype=np.uint32) & 1) << i
+    return result
+
+
+def transform_bit_plane(
+    plane: np.ndarray, transform: BitSerialTransform
+) -> np.ndarray:
+    """Apply the bit-serial linear transformation to a {0,1} bit plane."""
+    return transform.apply(plane)
+
+
+def aggregate_bit_results(
+    partial_results: Sequence[np.ndarray],
+    activation_row_sums: np.ndarray,
+    transform: BitSerialTransform = BitSerialTransform(),
+) -> np.ndarray:
+    """Recombine per-bit LUT results into the integer-code GEMM result.
+
+    Given ``partial_results[i] = A x f(W_i)^T`` (the result of the one-bit
+    matrix multiplication *after* the bit-serial transformation), this
+    computes ``A x codes^T`` as
+
+    .. math::
+
+        \\sum_i 2^i \\big(\\alpha\\, R_i + \\beta\\, S\\big)
+
+    where ``S[n] = sum_k A[n, k]`` is the activation row-sum term
+    (the matrix ``R_beta`` in Algorithm 1 of the paper).
+
+    Parameters
+    ----------
+    partial_results:
+        Sequence of ``[N, M]`` arrays, least-significant bit first.
+    activation_row_sums:
+        ``[N]`` vector of activation row sums (or an ``[N, M]``/broadcastable
+        array when row sums differ per output due to grouping).
+    transform:
+        The bit-serial transform that produced the partials.
+    """
+    if not partial_results:
+        raise ValueError("at least one partial result is required")
+    alpha = transform.alpha
+    beta = transform.beta
+    row_sums = np.asarray(activation_row_sums, dtype=np.float64)
+    if row_sums.ndim == 1:
+        row_sums = row_sums[:, None]
+
+    total = np.zeros_like(np.asarray(partial_results[0], dtype=np.float64))
+    for i, partial in enumerate(partial_results):
+        weight = float(1 << i)
+        total += weight * (alpha * np.asarray(partial, dtype=np.float64)
+                           + beta * row_sums)
+    return total

@@ -1,0 +1,166 @@
+"""Configuration of the T-MAC mpGEMM kernel.
+
+A :class:`TMACConfig` captures every knob the paper's design section exposes:
+
+* the LUT group size ``g`` (Section 3.1, default 4 — the value that fits a
+  single NEON ``TBL`` / AVX2 ``PSHUF`` register),
+* the activation data type,
+* the table-storage reductions (mirror consolidation, table quantization —
+  Section 3.3),
+* the data-layout optimizations (tiling, weight permutation, weight
+  interleaving — Section 3.2),
+* fast 8-bit aggregation (Section 4), off by default because it costs
+  accuracy,
+* the bit-serial linear transformation end points ``s0``/``s1``
+  (Section 4, "Bit-serial linear transformation"), defaulting to ``(-1, +1)``.
+
+The ablation study (Figure 10) is reproduced by toggling these flags from
+the baseline ``TM-base`` configuration up to the full ``T-MAC`` one; see
+:func:`ablation_stages`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.tiling import TileConfig
+
+__all__ = ["TMACConfig", "ablation_stages", "ABLATION_STAGE_NAMES"]
+
+
+@dataclass(frozen=True)
+class TMACConfig:
+    """Configuration for the T-MAC LUT-based mpGEMM kernel.
+
+    Attributes
+    ----------
+    bits:
+        Weight bit width ``b`` (1..4 evaluated in the paper).
+    g:
+        LUT group size: the number of one-bit weights grouped into a single
+        table index.  ``2**g`` is the table length before mirror
+        consolidation.
+    act_dtype:
+        Data type the lookup tables are built in before table quantization:
+        ``"float16"`` or ``"float32"``.
+    mirror_consolidation:
+        Store only half the table and reconstruct the mirrored half by
+        negation (lossless).
+    table_quantization:
+        Quantize table entries from fp16 to int8 with a dynamic scale.
+    fast_aggregation:
+        Aggregate int8 lookup results with averaging (``rhadd``/``avg``)
+        instructions instead of widening adds.  Faster but lossy.
+    lut_scale_granularity:
+        ``"group"`` (one scale per weight-quantization group, required for
+        integer-domain accumulation and fast aggregation) or ``"fine"``
+        (one scale per g-element table, the finest dynamic granularity).
+    s0 / s1:
+        Values the one-bit weights {0, 1} are linearly mapped to before the
+        table lookup.  The paper finds (-1, +1) optimal.
+    tiling / permute_weights / interleave_weights:
+        The LUT-centric data-layout optimizations of Section 3.2.  They do
+        not change numerical results; they change the instruction/memory
+        profile used by the cost model.
+    tile_config:
+        Explicit tile configuration; ``None`` lets the kernel (or the tuner)
+        pick a default for the target device.
+    """
+
+    bits: int = 4
+    g: int = 4
+    act_dtype: str = "float16"
+    mirror_consolidation: bool = True
+    table_quantization: bool = True
+    fast_aggregation: bool = False
+    lut_scale_granularity: str = "group"
+    s0: float = -1.0
+    s1: float = 1.0
+    tiling: bool = True
+    permute_weights: bool = True
+    interleave_weights: bool = True
+    tuned: bool = False
+    tile_config: Optional[TileConfig] = None
+    name: str = "T-MAC"
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 8:
+            raise ValueError(f"bits must be in [1, 8], got {self.bits}")
+        if not 1 <= self.g <= 8:
+            raise ValueError(f"g must be in [1, 8], got {self.g}")
+        if self.act_dtype not in ("float16", "float32"):
+            raise ValueError(
+                f"act_dtype must be 'float16' or 'float32', got {self.act_dtype!r}"
+            )
+        if self.lut_scale_granularity not in ("group", "fine"):
+            raise ValueError(
+                "lut_scale_granularity must be 'group' or 'fine', "
+                f"got {self.lut_scale_granularity!r}"
+            )
+        if self.fast_aggregation and not self.table_quantization:
+            raise ValueError(
+                "fast_aggregation requires table_quantization (it averages "
+                "int8 table entries)"
+            )
+        if self.s0 == self.s1:
+            raise ValueError("s0 and s1 must differ")
+
+    @property
+    def table_length(self) -> int:
+        """Number of table entries stored per group (after consolidation)."""
+        full = 1 << self.g
+        return full // 2 if self.mirror_consolidation else full
+
+    @property
+    def table_entry_bytes(self) -> int:
+        """Bytes per stored table entry."""
+        if self.table_quantization:
+            return 1
+        return 2 if self.act_dtype == "float16" else 4
+
+    def with_options(self, **kwargs) -> "TMACConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+ABLATION_STAGE_NAMES = (
+    "TM-base",
+    "+TQ",
+    "+Tiling",
+    "+Perm.",
+    "+Tuning",
+    "T-MAC",
+    "TM+FA",
+)
+
+
+def ablation_stages(bits: int = 4, g: int = 4) -> "list[TMACConfig]":
+    """Build the cumulative optimization stages of the Figure 10 ablation.
+
+    Stage order follows the paper: ``TM-base`` (hardware LUT intrinsics only,
+    no memory optimization), then cumulatively table quantization, tiling,
+    permutation, tuning, interleaving (= full T-MAC), and finally optional
+    fast aggregation (TM+FA).
+    """
+    base = TMACConfig(
+        bits=bits,
+        g=g,
+        mirror_consolidation=True,
+        table_quantization=False,
+        fast_aggregation=False,
+        tiling=False,
+        permute_weights=False,
+        interleave_weights=False,
+        tuned=False,
+        name="TM-base",
+    )
+    stages = [base]
+    stages.append(stages[-1].with_options(table_quantization=True, name="+TQ"))
+    stages.append(stages[-1].with_options(tiling=True, name="+Tiling"))
+    stages.append(stages[-1].with_options(permute_weights=True, name="+Perm."))
+    stages.append(stages[-1].with_options(tuned=True, name="+Tuning"))
+    stages.append(stages[-1].with_options(interleave_weights=True, name="T-MAC"))
+    stages.append(stages[-1].with_options(fast_aggregation=True, name="TM+FA"))
+    return stages

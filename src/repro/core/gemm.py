@@ -1,0 +1,80 @@
+"""High-level functional API for T-MAC mixed-precision GEMM/GEMV.
+
+These helpers wrap :class:`~repro.core.kernel.TMACKernel` for one-shot use.
+For repeated multiplications against the same weights (the normal inference
+case), construct a :class:`TMACKernel` once — its offline weight
+preprocessing is then amortized across calls, exactly as in the paper's
+deployment (weights are permuted/interleaved once, offline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.quant.uniform import QuantizedWeight, quantize_weights
+
+__all__ = ["tmac_gemm", "tmac_gemv"]
+
+
+def _as_quantized(
+    weights: Union[np.ndarray, QuantizedWeight],
+    bits: int,
+    group_size: int,
+) -> QuantizedWeight:
+    if isinstance(weights, QuantizedWeight):
+        return weights
+    return quantize_weights(np.asarray(weights), bits=bits, group_size=group_size)
+
+
+def tmac_gemm(
+    activation: np.ndarray,
+    weights: Union[np.ndarray, QuantizedWeight],
+    bits: int = 4,
+    group_size: int = 128,
+    config: Optional[TMACConfig] = None,
+) -> np.ndarray:
+    """Mixed-precision GEMM ``activation [N, K] x weights [M, K]^T -> [N, M]``.
+
+    Parameters
+    ----------
+    activation:
+        High-precision activation matrix of shape ``[N, K]``.
+    weights:
+        Either an already-quantized :class:`QuantizedWeight` or a real-valued
+        ``[M, K]`` matrix that will be quantized to ``bits`` bits with the
+        given ``group_size``.
+    bits / group_size:
+        Quantization parameters used when ``weights`` is a raw fp matrix.
+    config:
+        Optional kernel configuration; defaults to the full T-MAC
+        configuration at the weight's bit width.
+    """
+    qweight = _as_quantized(weights, bits, group_size)
+    cfg = config or TMACConfig(bits=qweight.bits)
+    kernel = TMACKernel(qweight, cfg)
+    return kernel.matmul(activation)
+
+
+def tmac_gemv(
+    activation: np.ndarray,
+    weights: Union[np.ndarray, QuantizedWeight],
+    bits: int = 4,
+    group_size: int = 128,
+    config: Optional[TMACConfig] = None,
+) -> np.ndarray:
+    """Mixed-precision GEMV: a single activation row against a weight matrix.
+
+    ``activation`` may be a 1-D ``[K]`` vector or a ``[1, K]`` matrix; the
+    result has the matching rank.  This is the operation that dominates the
+    token-generation (decode) phase of LLM inference.
+    """
+    a = np.asarray(activation)
+    if a.ndim not in (1, 2) or (a.ndim == 2 and a.shape[0] != 1):
+        raise ValueError(
+            f"tmac_gemv expects a [K] vector or [1, K] matrix, got shape {a.shape}"
+        )
+    return tmac_gemm(a, weights, bits=bits, group_size=group_size, config=config)

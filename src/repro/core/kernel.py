@@ -1,0 +1,248 @@
+"""The T-MAC mpGEMM/mpGEMV kernel (Algorithm 1, online stage).
+
+:class:`TMACKernel` binds a quantized weight matrix (prepared offline by
+:func:`repro.core.weights.preprocess_weights`) to a kernel configuration and
+executes mixed-precision matrix multiplication as
+
+1. **Precompute** — build the per-activation-group lookup tables
+   (:func:`repro.core.lut.precompute_lut`), with mirror consolidation and
+   table quantization as configured.
+2. **Lookup** — for every weight bit plane and every quantization group,
+   gather the precomputed partial sums addressed by the ``g``-bit weight
+   indices.
+3. **Aggregate** — sum the looked-up values along the reduction axis, either
+   exactly or with the lossy fast 8-bit aggregation.
+4. **Bit-serial aggregation** — recombine the per-bit results with powers of
+   two and the activation row-sum correction, then apply the weight
+   quantization scales and zero points.
+
+The kernel is a faithful numerical implementation: its output differs from
+``A @ dequantize(W)^T`` only by the error sources the paper quantifies
+(table quantization and, when enabled, fast aggregation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.aggregation import exact_aggregate, fast_aggregate
+from repro.core.bitserial import BitSerialTransform
+from repro.core.config import TMACConfig
+from repro.core.lut import LookupTable, lookup, precompute_lut
+from repro.core.tiling import TileConfig
+from repro.core.weights import PreprocessedWeights, preprocess_weights
+from repro.quant.uniform import QuantizedWeight
+
+__all__ = ["TMACKernel"]
+
+
+class TMACKernel:
+    """LUT-based mixed-precision GEMM kernel bound to one weight matrix.
+
+    Parameters
+    ----------
+    qweight:
+        The quantized weight matrix (codes + per-group scales/zeros).
+    config:
+        Kernel configuration.  ``config.bits`` must equal ``qweight.bits``.
+    tile_config:
+        Optional explicit tile configuration (otherwise taken from the
+        config or defaulted).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import TMACConfig, TMACKernel, quantize_weights
+    >>> rng = np.random.default_rng(0)
+    >>> w = rng.standard_normal((64, 128)).astype(np.float32)
+    >>> qw = quantize_weights(w, bits=4, group_size=32)
+    >>> kernel = TMACKernel(qw, TMACConfig(bits=4))
+    >>> a = rng.standard_normal((1, 128)).astype(np.float32)
+    >>> out = kernel.matmul(a)
+    >>> out.shape
+    (1, 64)
+    """
+
+    def __init__(
+        self,
+        qweight: QuantizedWeight,
+        config: Optional[TMACConfig] = None,
+        tile_config: Optional[TileConfig] = None,
+    ):
+        self.config = config or TMACConfig(bits=qweight.bits)
+        if self.config.bits != qweight.bits:
+            raise ValueError(
+                f"config.bits={self.config.bits} != qweight.bits={qweight.bits}"
+            )
+        self.transform = BitSerialTransform(self.config.s0, self.config.s1)
+        self.weights: PreprocessedWeights = preprocess_weights(
+            qweight, self.config, tile_config
+        )
+        self._groups_per_qgroup = self.weights.group_size // self.config.g
+
+    # ------------------------------------------------------------------ #
+    # Shape properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def out_features(self) -> int:
+        """M — rows of the weight matrix / output width."""
+        return self.weights.out_features
+
+    @property
+    def in_features(self) -> int:
+        """K — reduction dimension."""
+        return self.weights.in_features
+
+    @property
+    def bits(self) -> int:
+        """Weight bit width."""
+        return self.config.bits
+
+    # ------------------------------------------------------------------ #
+    # Online stage
+    # ------------------------------------------------------------------ #
+
+    def precompute(self, activation: np.ndarray) -> LookupTable:
+        """Build the lookup tables for an activation matrix (online stage)."""
+        a = self._check_activation(activation)
+        scale_block = (
+            self._groups_per_qgroup
+            if self.config.lut_scale_granularity == "group"
+            else 1
+        )
+        return precompute_lut(
+            a,
+            g=self.config.g,
+            transform=self.transform,
+            mirror_consolidation=self.config.mirror_consolidation,
+            table_quantization=self.config.table_quantization,
+            scale_block=scale_block,
+            act_dtype=self.config.act_dtype,
+        )
+
+    def matmul(self, activation: np.ndarray) -> np.ndarray:
+        """Compute ``activation @ W_dequantized^T`` without dequantizing W.
+
+        Parameters
+        ----------
+        activation:
+            ``[N, K]`` (or ``[K]``) high-precision activation matrix.
+
+        Returns
+        -------
+        np.ndarray
+            ``[N, M]`` float32 result (``[M]`` if the input was 1-D).
+        """
+        a = self._check_activation(activation)
+        squeeze = np.asarray(activation).ndim == 1
+        table = self.precompute(a)
+        out = self._matmul_with_table(a, table)
+        return out[0] if squeeze else out
+
+    __call__ = matmul
+
+    def matmul_codes(self, activation: np.ndarray) -> np.ndarray:
+        """Compute ``activation @ codes^T`` (integer-code GEMM, no scales).
+
+        Used by unit tests to verify the bit-serial + LUT pipeline against
+        a plain integer matrix multiplication, independent of quantization
+        scales.
+        """
+        a = self._check_activation(activation)
+        table = self.precompute(a)
+        gpq = self._groups_per_qgroup
+        num_qgroups = self.weights.in_features // self.weights.group_size
+        group_sums = a.reshape(a.shape[0], num_qgroups, -1).sum(axis=2)
+
+        total = np.zeros((a.shape[0], self.out_features), dtype=np.float64)
+        for qg in range(num_qgroups):
+            codes_dot = self._codes_dot_block(table, qg, gpq, group_sums[:, qg])
+            total += codes_dot
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_activation(self, activation: np.ndarray) -> np.ndarray:
+        a = np.asarray(activation, dtype=np.float32)
+        if a.ndim == 1:
+            a = a[None, :]
+        if a.ndim != 2:
+            raise ValueError(
+                f"activation must be 1-D or 2-D, got shape {np.asarray(activation).shape}"
+            )
+        if a.shape[1] != self.in_features:
+            raise ValueError(
+                f"activation K={a.shape[1]} does not match weight K={self.in_features}"
+            )
+        return a
+
+    def _block_partial(
+        self, table: LookupTable, bit: int, qg: int, gpq: int
+    ) -> np.ndarray:
+        """Looked-up and aggregated partial result of one bit plane over one
+        weight-quantization group.  Returns ``[N, M]`` float64."""
+        j0 = qg * gpq
+        jslice = slice(j0, j0 + gpq)
+        indices = self.weights.index_planes[bit][:, jslice]
+        raw = lookup(table, indices, group_slice=jslice)  # [N, M, gpq]
+
+        if not table.quantized:
+            return exact_aggregate(raw, axis=-1)
+
+        if table.scale_block == 1:
+            # Fine granularity: each group has its own scale; rescale before
+            # the (float) accumulation.
+            scales = table.scales[:, jslice]  # [N, gpq]
+            return exact_aggregate(raw * scales[:, None, :], axis=-1)
+
+        # Group granularity: one scale per quantization block -> aggregate in
+        # the integer domain (exactly or with the lossy rhadd tree), then
+        # rescale once.
+        if self.config.fast_aggregation:
+            aggregated = fast_aggregate(raw, axis=-1)
+        else:
+            aggregated = exact_aggregate(raw, axis=-1)
+        block_scale = table.scales[:, qg]  # [N]
+        return aggregated * block_scale[:, None]
+
+    def _codes_dot_block(
+        self, table: LookupTable, qg: int, gpq: int, group_sum: np.ndarray
+    ) -> np.ndarray:
+        """``A_block @ codes_block^T`` for one quantization group, [N, M]."""
+        alpha = self.transform.alpha
+        beta = self.transform.beta
+        codes_dot = np.zeros(
+            (table.num_rows, self.out_features), dtype=np.float64
+        )
+        for bit in range(self.bits):
+            partial = self._block_partial(table, bit, qg, gpq)
+            codes_dot += float(1 << bit) * (
+                alpha * partial + beta * group_sum[:, None]
+            )
+        return codes_dot
+
+    def _matmul_with_table(
+        self, activation: np.ndarray, table: LookupTable
+    ) -> np.ndarray:
+        n = activation.shape[0]
+        m = self.out_features
+        gpq = self._groups_per_qgroup
+        num_qgroups = self.in_features // self.weights.group_size
+        group_sums = activation.reshape(n, num_qgroups, -1).sum(axis=2)
+
+        scales_w = self.weights.scales  # [M, QG]
+        zeros_w = self.weights.zeros  # [M, QG]
+
+        out = np.zeros((n, m), dtype=np.float64)
+        for qg in range(num_qgroups):
+            codes_dot = self._codes_dot_block(table, qg, gpq, group_sums[:, qg])
+            scale_col = scales_w[:, qg][None, :]  # [1, M]
+            zero_col = zeros_w[:, qg][None, :]  # [1, M]
+            out += scale_col * codes_dot
+            out -= (scale_col * zero_col) * group_sums[:, qg][:, None]
+        return out.astype(np.float32)

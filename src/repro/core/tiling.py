@@ -1,0 +1,239 @@
+"""LUT-centric data layout: tile configurations and on-chip footprint math.
+
+Section 3.2 of the paper redesigns the GEMM loop structure around the lookup
+table:
+
+* **Axis reordering** — the temporal axis K is traversed first so that only a
+  ``[1, K_tk]`` slice of activations needs a table at any time, instead of a
+  table for the whole ``A[N, K]``.
+* **Tiling** — a tile ``A[N_tn, K_tk]`` / ``W[M_tm, K_tk]`` is staged in
+  on-chip memory; because every one of the ``M_tm`` weight columns reuses the
+  same table, a larger ``M_tm`` amortizes the table-build cost.
+* **Register footprint** — the example of Figure 3 (``g=4``, tile
+  ``[K_tk, M_tm] = [4, 32]``, ``b=4``) uses 144 8-bit registers for T-MAC
+  versus 104 for the llama.cpp dequantization kernel.  The footprint
+  formulas in this module reproduce those two numbers exactly and are used
+  by the tuner to reject configurations that would spill.
+
+Nothing in this module changes numerical results; it feeds the instruction
+and memory models in :mod:`repro.simd` and :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TileConfig",
+    "TileFootprint",
+    "tmac_register_footprint",
+    "dequant_register_footprint",
+    "axis_order",
+    "lut_working_set_bytes",
+    "default_tile_config",
+]
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """A tiling of the mpGEMM ``C[N, M] = A[N, K] x W[M, K]^T``.
+
+    Attributes
+    ----------
+    n_tn:
+        Activation-row tile size (1 for GEMV decode).
+    m_tm:
+        Weight-row (output) tile size.  Larger values reuse the lookup table
+        across more outputs.
+    k_tk:
+        Reduction tile size, a multiple of the LUT group size ``g``.
+    num_onchip_luts:
+        Number of lookup tables kept resident in vector registers at a time
+        (one per ``g``-wide slice of ``k_tk``).
+    """
+
+    n_tn: int = 1
+    m_tm: int = 32
+    k_tk: int = 32
+    num_onchip_luts: int = 8
+
+    def __post_init__(self) -> None:
+        for field_name in ("n_tn", "m_tm", "k_tk", "num_onchip_luts"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {value}")
+
+    def tiles_for(self, n: int, m: int, k: int) -> tuple:
+        """Number of tiles along each axis (ceil division) for a problem size."""
+        tiles_n = -(-n // self.n_tn)
+        tiles_m = -(-m // self.m_tm)
+        tiles_k = -(-k // self.k_tk)
+        return tiles_n, tiles_m, tiles_k
+
+    def dram_bytes_per_tile(self, bits: int, act_bytes: int = 2) -> int:
+        """Bytes loaded from DRAM to process one tile (weights + activations).
+
+        Traditional GEMM tiling loads ``N_tn*K_tk`` activation elements and
+        ``M_tm*K_tk`` weight elements per tile instead of the
+        ``N_tn*M_tm*K_tk`` elements a naive loop would touch.
+        Weights are packed at ``bits`` bits per element.
+        """
+        act = self.n_tn * self.k_tk * act_bytes
+        weights = self.m_tm * self.k_tk * bits // 8
+        return act + weights
+
+
+@dataclass(frozen=True)
+class TileFootprint:
+    """Byte-level breakdown of the on-chip (register) footprint of one tile."""
+
+    packed_indices: int
+    unpacked_indices: int
+    lut: int
+    lookup_results: int
+    accumulators: int
+    activations: int = 0
+    scales: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total 8-bit registers (bytes) required."""
+        return (
+            self.packed_indices
+            + self.unpacked_indices
+            + self.lut
+            + self.lookup_results
+            + self.accumulators
+            + self.activations
+            + self.scales
+        )
+
+
+def tmac_register_footprint(
+    m_tm: int = 32,
+    k_tk: int = 4,
+    g: int = 4,
+    table_quantization: bool = False,
+    mirror_consolidation: bool = False,
+    lanes: int = 16,
+) -> TileFootprint:
+    """On-chip footprint (in 8-bit registers) of one T-MAC basic block.
+
+    For the Figure 3 example (``m_tm=32``, ``k_tk=4``, ``g=4``, fp16 tables)
+    this evaluates to 144 bytes:
+
+    * 16 B packed uint4 indices (32 indices x 4 bits),
+    * 32 B unpacked uint8 indices,
+    * 32 B lookup table (16 entries, fp16 split into low/high int8 LUTs),
+    * 32 B raw lookup results for one index vector in flight (low/high),
+    * 32 B fp16 accumulators for one result vector in flight.
+
+    Table quantization halves the LUT and lookup-result bytes (a single int8
+    LUT instead of a split fp16 one) and mirror consolidation halves the
+    number of stored entries.
+    """
+    if k_tk % g != 0:
+        raise ValueError(f"k_tk={k_tk} must be a multiple of g={g}")
+    groups = k_tk // g
+    num_indices = m_tm * groups
+
+    packed = num_indices * g // 8
+    unpacked = num_indices
+
+    entries = 1 << g
+    if mirror_consolidation:
+        entries //= 2
+    luts_per_group = 1 if table_quantization else 2
+    lut = groups * entries * luts_per_group
+
+    # Lookup results and accumulators are produced one SIMD register at a
+    # time, so only one vector's worth (``lanes`` int8 results per LUT half,
+    # ``lanes`` fp16 partial sums) is live at once.
+    lookup_results = lanes * luts_per_group
+    accumulators = 2 * lanes
+
+    return TileFootprint(
+        packed_indices=packed,
+        unpacked_indices=unpacked,
+        lut=lut,
+        lookup_results=lookup_results,
+        accumulators=accumulators,
+    )
+
+
+def dequant_register_footprint(k_tk: int = 32, bits: int = 4) -> TileFootprint:
+    """On-chip footprint of one llama.cpp-style dequantization basic block.
+
+    For the Figure 3 example (``k_tk=32``, ``bits=4``) this evaluates to 104
+    bytes: 16 B packed uint4 weights, 32 B decoded int8 weights, 32 B int8
+    activations, 16 B int32 dot-product accumulators and 8 B fp16
+    scales/output.
+    """
+    packed = k_tk * bits // 8
+    decoded = k_tk
+    activations = k_tk
+    accumulators = 16  # int32[4] accumulator register
+    scales = 8  # fp16[4] scales / converted outputs
+    return TileFootprint(
+        packed_indices=packed,
+        unpacked_indices=decoded,
+        lut=0,
+        lookup_results=0,
+        accumulators=accumulators,
+        activations=activations,
+        scales=scales,
+    )
+
+
+def axis_order(lut_centric: bool = True) -> tuple:
+    """Loop axis order: LUT-centric layout walks the temporal axis K first."""
+    return ("K", "N", "M") if lut_centric else ("N", "M", "K")
+
+
+def lut_working_set_bytes(
+    n: int,
+    k: int,
+    g: int,
+    entry_bytes: int,
+    mirror_consolidation: bool,
+    k_tile: int = None,
+) -> int:
+    """Size of the lookup-table working set for an activation slice.
+
+    With the traditional spatial-first loop order the whole ``A[N, K]`` needs
+    a table — ``N * K/g * 2**g`` entries.  The LUT-centric temporal-first
+    order only keeps tables for a ``[N, k_tile]`` slice alive.
+    """
+    if k_tile is None:
+        k_tile = k
+    entries = 1 << g
+    if mirror_consolidation:
+        entries //= 2
+    groups = -(-k_tile // g)
+    return n * groups * entries * entry_bytes
+
+
+def default_tile_config(
+    bits: int,
+    g: int = 4,
+    simd_width_bits: int = 128,
+    vector_registers: int = 32,
+    n: int = 1,
+) -> TileConfig:
+    """A reasonable default tile configuration for a SIMD width / register file.
+
+    The heuristic mirrors the paper's description: the LUT group size ``g=4``
+    exactly fills one 128-bit TBL register (16 int8 entries); the number of
+    resident LUTs is chosen so that tables plus indices plus accumulators fit
+    the architectural register file with headroom, and ``m_tm`` is sized to
+    maximize table reuse.
+    """
+    lanes = simd_width_bits // 8
+    # One LUT register per g-wide group; keep at most half the register file
+    # for LUTs so indices/accumulators do not spill.
+    num_luts = max(1, vector_registers // 4)
+    k_tk = num_luts * g
+    # Each lookup instruction produces `lanes` results; process a few vectors
+    # of outputs per tile to amortize table builds.
+    m_tm = lanes * 2
+    return TileConfig(n_tn=min(n, 8), m_tm=m_tm, k_tk=k_tk, num_onchip_luts=num_luts)

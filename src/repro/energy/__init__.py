@@ -1,0 +1,5 @@
+"""Power and energy models for edge inference (paper Figure 9 and Table 5)."""
+
+from repro.energy.power_model import EnergyReport, PowerModel
+
+__all__ = ["PowerModel", "EnergyReport"]

@@ -1,0 +1,120 @@
+"""Power and energy model (paper Figure 9 and Table 5).
+
+The paper measures package power with ``powermetrics`` on the M2-Ultra and
+with the board sensors on Jetson AGX Orin, and reports two consistent
+observations:
+
+* T-MAC draws ~10-17% less *power* than llama.cpp at the same thread count,
+  because its kernels retire several times fewer vector instructions per
+  byte of weights streamed (the lookup replaces dequantize+multiply).
+* Combined with its latency advantage, this compounds into 20-70% lower
+  *energy per token*.
+
+The model reproduces that structure with an explicit energy decomposition::
+
+    E_token = (P_idle + threads * P_core) * t_token            (static / leakage)
+            + e_instr * instructions_per_token                 (dynamic compute)
+            + e_byte  * dram_bytes_per_token                   (dynamic memory)
+
+    P_avg   = E_token / t_token
+
+The per-instruction and per-gigabyte energies are device calibration
+constants stored on :class:`~repro.hardware.device.CPUSpec`.  GPU power uses
+the device's GPU power rating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import Device
+
+__all__ = ["EnergyReport", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Power/energy estimate for a steady-state token-generation workload."""
+
+    watts: float
+    joules_per_token: float
+    seconds_per_token: float
+    engine: str = ""
+    static_joules: float = 0.0
+    compute_joules: float = 0.0
+    memory_joules: float = 0.0
+
+    @property
+    def tokens_per_joule(self) -> float:
+        """Inverse energy metric."""
+        return 1.0 / self.joules_per_token if self.joules_per_token > 0 else 0.0
+
+
+class PowerModel:
+    """Platform power/energy model for one device."""
+
+    def __init__(self, device: Device):
+        self.device = device
+
+    def cpu_token_energy(
+        self,
+        seconds_per_token: float,
+        instructions_per_token: float,
+        dram_gb_per_token: float,
+        threads: int,
+        engine: str = "cpu",
+    ) -> EnergyReport:
+        """Energy/power for a CPU engine generating tokens back to back.
+
+        Parameters
+        ----------
+        seconds_per_token:
+            End-to-end decode latency per token.
+        instructions_per_token:
+            Vector instructions retired per token (from the kernel
+            profiles).
+        dram_gb_per_token:
+            DRAM traffic per token in gigabytes (≈ packed model size for the
+            decode phase).
+        threads:
+            Number of active CPU threads.
+        """
+        if seconds_per_token <= 0:
+            raise ValueError("seconds_per_token must be positive")
+        if instructions_per_token < 0 or dram_gb_per_token < 0:
+            raise ValueError("instruction and traffic counts must be >= 0")
+        cpu = self.device.cpu
+        static = (cpu.idle_power_w + threads * cpu.core_power_w) * seconds_per_token
+        compute = cpu.energy_per_instruction_nj * 1e-9 * instructions_per_token
+        memory = cpu.energy_per_gb_j * dram_gb_per_token
+        joules = static + compute + memory
+        return EnergyReport(
+            watts=joules / seconds_per_token,
+            joules_per_token=joules,
+            seconds_per_token=seconds_per_token,
+            engine=engine,
+            static_joules=static,
+            compute_joules=compute,
+            memory_joules=memory,
+        )
+
+    def gpu_token_energy(
+        self,
+        seconds_per_token: float,
+        utilization: float = 1.0,
+        engine: str = "gpu",
+    ) -> EnergyReport:
+        """Energy/power for the llama.cpp GPU backend."""
+        if self.device.gpu is None:
+            raise ValueError(f"device {self.device.name} has no GPU spec")
+        if seconds_per_token <= 0:
+            raise ValueError("seconds_per_token must be positive")
+        watts = self.device.cpu.idle_power_w + self.device.gpu.power_w * utilization
+        joules = watts * seconds_per_token
+        return EnergyReport(
+            watts=watts,
+            joules_per_token=joules,
+            seconds_per_token=seconds_per_token,
+            engine=engine,
+            static_joules=joules,
+        )

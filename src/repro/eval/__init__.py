@@ -1,0 +1,31 @@
+"""Evaluation harness: kernel-level error analysis and model-level quality.
+
+* :mod:`repro.eval.nmse` — normalized mean squared error of mpGEMV outputs
+  against the unquantized fp reference (paper Table 3).
+* :mod:`repro.eval.tasks` — synthetic language-modelling and binary-choice
+  tasks standing in for WikiText-2 / lambada_openai / WinoGrande (the paper
+  evaluates trained checkpoints on the real datasets; here the *relative*
+  quality across engines on identical weights is what is reproduced).
+* :mod:`repro.eval.perplexity` — runs a numpy transformer under each engine
+  and reports perplexity / accuracy per engine (paper Table 4).
+"""
+
+from repro.eval.nmse import kernel_nmse_table, nmse
+from repro.eval.perplexity import QualityResult, evaluate_engines
+from repro.eval.tasks import (
+    SyntheticBinaryChoiceTask,
+    SyntheticLMTask,
+    make_binary_choice_task,
+    make_lm_task,
+)
+
+__all__ = [
+    "nmse",
+    "kernel_nmse_table",
+    "SyntheticLMTask",
+    "SyntheticBinaryChoiceTask",
+    "make_lm_task",
+    "make_binary_choice_task",
+    "QualityResult",
+    "evaluate_engines",
+]

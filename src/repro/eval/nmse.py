@@ -1,0 +1,96 @@
+"""Kernel-level error analysis (paper Table 3).
+
+The paper quantifies two kernel error sources against an unquantized
+``W_fp16 A_fp16`` GEMV on Gaussian data:
+
+* weight quantization (common to llama.cpp and T-MAC),
+* table quantization (T-MAC only — negligible), and
+* fast aggregation (T-MAC +FA — raises NMSE by ~2.5x).
+
+:func:`kernel_nmse_table` reproduces the Table 3 comparison for a list of
+matrix shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.baselines.dequant_gemm import DequantGEMM
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.workloads.generator import make_gemv_case
+
+__all__ = ["nmse", "NMSERow", "kernel_nmse_table"]
+
+
+def nmse(reference: np.ndarray, output: np.ndarray) -> float:
+    """Normalized mean squared error ``mean((out-ref)^2) / mean(ref^2)``."""
+    ref = np.asarray(reference, dtype=np.float64)
+    out = np.asarray(output, dtype=np.float64)
+    if ref.shape != out.shape:
+        raise ValueError(
+            f"shape mismatch between reference {ref.shape} and output {out.shape}"
+        )
+    denom = np.mean(ref ** 2)
+    if denom == 0:
+        raise ValueError("reference signal has zero power")
+    return float(np.mean((out - ref) ** 2) / denom)
+
+
+@dataclass(frozen=True)
+class NMSERow:
+    """One row of the Table 3 reproduction."""
+
+    shape: str
+    llama_cpp: float
+    tmac: float
+    tmac_fast_aggregation: float
+
+    @property
+    def fa_ratio(self) -> float:
+        """How much fast aggregation inflates the NMSE over plain T-MAC."""
+        return self.tmac_fast_aggregation / self.tmac if self.tmac > 0 else 0.0
+
+
+def kernel_nmse_table(
+    shapes: Iterable,
+    bits: int = 4,
+    group_size: int = 128,
+    seed: int = 0,
+) -> List[NMSERow]:
+    """Compute the Table 3 NMSE comparison for a set of matmul shapes.
+
+    ``shapes`` yields ``(m, k)`` pairs or
+    :class:`~repro.workloads.shapes.MatmulShape` objects.  For every shape
+    the same Gaussian weights/activation and the same quantized weights are
+    fed to the llama.cpp-style kernel, T-MAC and T-MAC with fast
+    aggregation; NMSE is measured against the unquantized reference.
+    """
+    rows: List[NMSERow] = []
+    for shape in shapes:
+        if hasattr(shape, "m"):
+            m, k, label = shape.m, shape.k, str(shape)
+        else:
+            m, k = shape
+            label = f"{m}x{k}x1"
+        case = make_gemv_case(m, k, n=1, bits=bits, group_size=group_size,
+                              seed=seed)
+        reference = case.reference
+
+        llama = DequantGEMM(case.qweight).matmul(case.activation)
+        tmac = TMACKernel(case.qweight, TMACConfig(bits=bits)).matmul(
+            case.activation)
+        tmac_fa = TMACKernel(
+            case.qweight, TMACConfig(bits=bits, fast_aggregation=True)
+        ).matmul(case.activation)
+
+        rows.append(NMSERow(
+            shape=label,
+            llama_cpp=nmse(reference, llama),
+            tmac=nmse(reference, tmac),
+            tmac_fast_aggregation=nmse(reference, tmac_fa),
+        ))
+    return rows

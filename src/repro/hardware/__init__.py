@@ -1,0 +1,54 @@
+"""Hardware substrate: edge-device catalogue and roofline cost model.
+
+The paper evaluates T-MAC on real devices (Tables 2 and 6).  This package
+replaces the physical hardware with
+
+* :mod:`repro.hardware.device` / :mod:`repro.hardware.devices` — structured
+  specifications (cores, frequencies, SIMD ISA, peak and sustained memory
+  bandwidth, GPU/NPU companions) for every device in the paper,
+* :mod:`repro.hardware.memory` — a small cache-hierarchy model used to pick
+  effective bandwidths for a given working set,
+* :mod:`repro.hardware.cost_model` — a roofline latency model that converts
+  the instruction/traffic profiles of :mod:`repro.simd.profile` into kernel
+  latencies (compute-bound vs. memory-bound), for any thread count.
+
+Latencies produced here are estimates intended to reproduce the *shape* of
+the paper's results (scaling with bit width, thread count, and device), not
+wall-clock measurements of the original kernels.
+"""
+
+from repro.hardware.cost_model import CostModel, KernelLatency
+from repro.hardware.device import CPUSpec, Device, GPUSpec, NPUSpec
+from repro.hardware.devices import (
+    ALL_DEVICES,
+    EVALUATION_DEVICES,
+    EXTENDED_DEVICES,
+    JETSON_AGX_ORIN,
+    JETSON_ORIN_NX,
+    M2_ULTRA,
+    ONEPLUS_12,
+    RASPBERRY_PI_5,
+    SURFACE_BOOK_3,
+    SURFACE_LAPTOP_7,
+    device_by_name,
+)
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "NPUSpec",
+    "Device",
+    "CostModel",
+    "KernelLatency",
+    "M2_ULTRA",
+    "RASPBERRY_PI_5",
+    "JETSON_AGX_ORIN",
+    "SURFACE_BOOK_3",
+    "SURFACE_LAPTOP_7",
+    "ONEPLUS_12",
+    "JETSON_ORIN_NX",
+    "EVALUATION_DEVICES",
+    "EXTENDED_DEVICES",
+    "ALL_DEVICES",
+    "device_by_name",
+]

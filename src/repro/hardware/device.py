@@ -1,0 +1,151 @@
+"""Device specification dataclasses.
+
+A :class:`Device` bundles the CPU (always present), and optionally a GPU and
+an NPU, of one edge platform.  The fields are the quantities the roofline
+cost model and the power model consume:
+
+* CPU: core count, frequency, SIMD ISA and issue capability, peak and
+  *sustained* memory bandwidth (total and per core), cache sizes, and power
+  coefficients.
+* GPU: achievable fp16 throughput, memory bandwidth, kernel-launch overhead
+  and an efficiency factor capturing how well the llama.cpp GPU backend
+  (CUDA or OpenCL) uses the hardware.
+* NPU: advertised TOPS and, where available, the vendor-published
+  tokens-per-second numbers the paper quotes (Qualcomm AI Hub).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.simd.isa import InstructionSet, isa_for_name
+
+__all__ = ["CPUSpec", "GPUSpec", "NPUSpec", "Device"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """CPU complex of an edge device.
+
+    Attributes
+    ----------
+    microarchitecture:
+        Marketing/core name, e.g. "Apple M2-Ultra", "ARM Cortex-A76".
+    cores:
+        Total number of (performance) cores available.
+    frequency_ghz:
+        Sustained clock of the cores used for inference.
+    isa_name:
+        "neon" or "avx2" — selects the :class:`InstructionSet`.
+    simd_throughput_scale:
+        Multiplier on the ISA's nominal per-category issue rates; Apple and
+        Oryon cores issue roughly twice as many 128-bit vector ops per cycle
+        as a Cortex-A76.
+    peak_bandwidth_gbs:
+        Datasheet DRAM bandwidth (paper Table 2's "Max. Memory Bandwidth").
+    sustained_bandwidth_gbs:
+        Bandwidth the CPU cluster actually sustains on the GEMV streaming
+        pattern with all threads (calibrated from the paper's measured
+        latencies; typically 25-50% of peak).
+    per_core_bandwidth_gbs:
+        Bandwidth a single thread can draw.
+    idle_power_w / core_power_w:
+        Power model coefficients: platform idle power and incremental power
+        of keeping one core active (whether computing or stalled on memory).
+    energy_per_instruction_nj / energy_per_gb_j:
+        Dynamic energy per retired vector instruction (nanojoules) and per
+        gigabyte of DRAM traffic (joules).  These two terms are what make
+        T-MAC draw less power than llama.cpp at equal latency: it retires
+        several times fewer instructions per byte streamed.
+    blas_gflops:
+        Sustained GEMM throughput (all cores) of the BLAS library llama.cpp
+        links on this platform — Accelerate (with the AMX coprocessor) on
+        Apple silicon, OpenBLAS elsewhere.  Used by the BLAS baseline for
+        the prefill/mpGEMM comparison (Figure 7).
+    """
+
+    microarchitecture: str
+    cores: int
+    frequency_ghz: float
+    isa_name: str
+    simd_throughput_scale: float
+    peak_bandwidth_gbs: float
+    sustained_bandwidth_gbs: float
+    per_core_bandwidth_gbs: float
+    l2_cache_mb: float = 4.0
+    idle_power_w: float = 3.0
+    core_power_w: float = 1.5
+    energy_per_instruction_nj: float = 0.10
+    energy_per_gb_j: float = 0.05
+    blas_gflops: float = 100.0
+
+    @property
+    def isa(self) -> InstructionSet:
+        """The SIMD instruction set of the cores."""
+        return isa_for_name(self.isa_name)
+
+    def bandwidth_at(self, threads: int) -> float:
+        """Sustained DRAM bandwidth (GB/s) achievable with ``threads`` threads."""
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        return min(self.sustained_bandwidth_gbs,
+                   self.per_core_bandwidth_gbs * threads)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """GPU of an edge device, as exercised by the llama.cpp GPU backends."""
+
+    name: str
+    fp16_tflops: float
+    memory_bandwidth_gbs: float
+    kernel_launch_overhead_us: float = 20.0
+    backend: str = "cuda"
+    efficiency: float = 0.7
+    power_w: float = 20.0
+
+    def effective_bandwidth_gbs(self) -> float:
+        """Bandwidth the GPU backend sustains on GEMV-style kernels."""
+        return self.memory_bandwidth_gbs * self.efficiency
+
+    def effective_tflops(self) -> float:
+        """Achievable fp16 throughput after backend efficiency."""
+        return self.fp16_tflops * self.efficiency
+
+
+@dataclass(frozen=True)
+class NPUSpec:
+    """NPU of an edge device; throughput comes from vendor-published data."""
+
+    name: str
+    tops: float
+    published_tokens_per_sec: Dict[str, float] = field(default_factory=dict)
+
+    def tokens_per_sec(self, model_name: str) -> Optional[float]:
+        """Vendor-published tokens/s for a model, or ``None`` if unknown."""
+        return self.published_tokens_per_sec.get(model_name)
+
+
+@dataclass(frozen=True)
+class Device:
+    """One edge platform: CPU plus optional GPU / NPU companions."""
+
+    name: str
+    cpu: CPUSpec
+    default_threads: int
+    gpu: Optional[GPUSpec] = None
+    npu: Optional[NPUSpec] = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.default_threads < 1 or self.default_threads > self.cpu.cores:
+            raise ValueError(
+                f"default_threads={self.default_threads} must be in "
+                f"[1, {self.cpu.cores}] for {self.name}"
+            )
+
+    @property
+    def isa(self) -> InstructionSet:
+        """SIMD instruction set of the device's CPU."""
+        return self.cpu.isa

@@ -1,0 +1,261 @@
+"""Catalogue of the edge devices used in the paper's evaluation.
+
+The four devices of Table 2 (kernel and end-to-end benchmarks) and the three
+additional devices of Table 6 (GPU/NPU comparison) are described here.
+
+Datasheet quantities (core counts, frequencies, peak bandwidths, TOPS) come
+from the paper's tables; *sustained* bandwidths and SIMD issue scales are
+calibration constants chosen so that the roofline model lands in the same
+regime as the paper's measured latencies (see EXPERIMENTS.md for the
+paper-vs-model comparison).  NPU throughputs are the Qualcomm-AI-Hub numbers
+the paper quotes in Table 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.device import CPUSpec, Device, GPUSpec, NPUSpec
+
+__all__ = [
+    "M2_ULTRA",
+    "RASPBERRY_PI_5",
+    "JETSON_AGX_ORIN",
+    "SURFACE_BOOK_3",
+    "SURFACE_LAPTOP_7",
+    "ONEPLUS_12",
+    "JETSON_ORIN_NX",
+    "EVALUATION_DEVICES",
+    "EXTENDED_DEVICES",
+    "ALL_DEVICES",
+    "device_by_name",
+]
+
+
+M2_ULTRA = Device(
+    name="M2-Ultra",
+    cpu=CPUSpec(
+        microarchitecture="Apple M2-Ultra",
+        cores=16,
+        frequency_ghz=3.5,
+        isa_name="neon",
+        simd_throughput_scale=4.0,
+        peak_bandwidth_gbs=819.2,
+        sustained_bandwidth_gbs=200.0,
+        per_core_bandwidth_gbs=30.0,
+        l2_cache_mb=32.0,
+        blas_gflops=4000.0,
+        idle_power_w=12.0,
+        core_power_w=2.0,
+        energy_per_instruction_nj=0.08,
+        energy_per_gb_j=0.05,
+    ),
+    default_threads=8,
+    notes="Mac Studio; the paper uses 8 threads for end-to-end inference.",
+)
+
+RASPBERRY_PI_5 = Device(
+    name="Raspberry Pi 5",
+    cpu=CPUSpec(
+        microarchitecture="ARM Cortex-A76",
+        cores=4,
+        frequency_ghz=2.4,
+        isa_name="neon",
+        simd_throughput_scale=0.7,
+        peak_bandwidth_gbs=17.1,
+        sustained_bandwidth_gbs=10.0,
+        per_core_bandwidth_gbs=5.0,
+        l2_cache_mb=2.0,
+        blas_gflops=55.0,
+        idle_power_w=2.5,
+        core_power_w=0.8,
+        energy_per_instruction_nj=0.15,
+        energy_per_gb_j=0.10,
+    ),
+    default_threads=4,
+)
+
+JETSON_AGX_ORIN = Device(
+    name="Jetson AGX Orin",
+    cpu=CPUSpec(
+        microarchitecture="ARM Cortex-A78AE",
+        cores=12,
+        frequency_ghz=2.2,
+        isa_name="neon",
+        simd_throughput_scale=0.8,
+        peak_bandwidth_gbs=204.8,
+        sustained_bandwidth_gbs=45.0,
+        per_core_bandwidth_gbs=5.0,
+        l2_cache_mb=6.0,
+        blas_gflops=220.0,
+        idle_power_w=5.0,
+        core_power_w=0.30,
+        energy_per_instruction_nj=0.10,
+        energy_per_gb_j=0.05,
+    ),
+    default_threads=12,
+    gpu=GPUSpec(
+        name="NVIDIA Ampere iGPU (AGX Orin)",
+        fp16_tflops=5.3,
+        memory_bandwidth_gbs=204.8,
+        kernel_launch_overhead_us=25.0,
+        backend="cuda",
+        efficiency=0.55,
+        power_w=26.0,
+    ),
+)
+
+SURFACE_BOOK_3 = Device(
+    name="Surface Book 3",
+    cpu=CPUSpec(
+        microarchitecture="Intel Core i5-1035G7",
+        cores=4,
+        frequency_ghz=3.3,
+        isa_name="avx2",
+        simd_throughput_scale=1.0,
+        peak_bandwidth_gbs=58.2,
+        sustained_bandwidth_gbs=22.0,
+        per_core_bandwidth_gbs=7.0,
+        l2_cache_mb=6.0,
+        blas_gflops=160.0,
+        idle_power_w=4.0,
+        core_power_w=2.5,
+        energy_per_instruction_nj=0.15,
+        energy_per_gb_j=0.08,
+    ),
+    default_threads=4,
+)
+
+SURFACE_LAPTOP_7 = Device(
+    name="Surface Laptop 7",
+    cpu=CPUSpec(
+        microarchitecture="Qualcomm Oryon (Snapdragon X Elite)",
+        cores=12,
+        frequency_ghz=3.8,
+        isa_name="neon",
+        simd_throughput_scale=2.0,
+        peak_bandwidth_gbs=135.0,
+        sustained_bandwidth_gbs=90.0,
+        per_core_bandwidth_gbs=25.0,
+        l2_cache_mb=36.0,
+        blas_gflops=900.0,
+        idle_power_w=5.0,
+        core_power_w=2.0,
+        energy_per_instruction_nj=0.09,
+        energy_per_gb_j=0.05,
+    ),
+    default_threads=4,
+    gpu=GPUSpec(
+        name="Adreno X1-85",
+        fp16_tflops=4.6,
+        memory_bandwidth_gbs=135.0,
+        kernel_launch_overhead_us=60.0,
+        backend="opencl",
+        efficiency=0.15,
+        power_w=15.0,
+    ),
+    npu=NPUSpec(
+        name="Hexagon NPU (45 TOPS)",
+        tops=45.0,
+        published_tokens_per_sec={"Llama-2-7B-4bit": 10.40},
+    ),
+    notes="Paper Table 6: only 4 of the 12 CPU cores are needed to saturate "
+          "memory bandwidth.",
+)
+
+ONEPLUS_12 = Device(
+    name="OnePlus 12",
+    cpu=CPUSpec(
+        microarchitecture="Qualcomm Snapdragon 8 Gen 3 (Cortex-X4/A720)",
+        cores=8,
+        frequency_ghz=3.0,
+        isa_name="neon",
+        simd_throughput_scale=1.2,
+        peak_bandwidth_gbs=77.0,
+        sustained_bandwidth_gbs=42.0,
+        per_core_bandwidth_gbs=12.0,
+        l2_cache_mb=12.0,
+        blas_gflops=180.0,
+        idle_power_w=1.5,
+        core_power_w=1.0,
+        energy_per_instruction_nj=0.10,
+        energy_per_gb_j=0.06,
+    ),
+    default_threads=4,
+    gpu=GPUSpec(
+        name="Adreno 750",
+        fp16_tflops=4.6,
+        memory_bandwidth_gbs=77.0,
+        kernel_launch_overhead_us=80.0,
+        backend="opencl",
+        efficiency=0.08,
+        power_w=8.0,
+    ),
+    npu=NPUSpec(
+        name="Hexagon NPU (15 TOPS)",
+        tops=15.0,
+        published_tokens_per_sec={"Llama-2-7B-4bit": 11.30},
+    ),
+    notes="llama.cpp's OpenCL backend is poorly optimized for Adreno, which "
+          "is why the paper's measured GPU throughput is only ~1.6 tok/s.",
+)
+
+JETSON_ORIN_NX = Device(
+    name="Jetson Orin NX",
+    cpu=CPUSpec(
+        microarchitecture="ARM Cortex-A78AE",
+        cores=8,
+        frequency_ghz=2.0,
+        isa_name="neon",
+        simd_throughput_scale=1.0,
+        peak_bandwidth_gbs=102.4,
+        sustained_bandwidth_gbs=30.0,
+        per_core_bandwidth_gbs=5.0,
+        l2_cache_mb=4.0,
+        blas_gflops=140.0,
+        idle_power_w=4.0,
+        core_power_w=0.35,
+        energy_per_instruction_nj=0.10,
+        energy_per_gb_j=0.05,
+    ),
+    default_threads=6,
+    gpu=GPUSpec(
+        name="NVIDIA Ampere GA10B (Orin NX)",
+        fp16_tflops=3.8,
+        memory_bandwidth_gbs=102.4,
+        kernel_launch_overhead_us=25.0,
+        backend="cuda",
+        efficiency=0.55,
+        power_w=18.0,
+    ),
+)
+
+
+#: Table 2 devices (kernel + end-to-end benchmarks).
+EVALUATION_DEVICES: List[Device] = [
+    M2_ULTRA,
+    RASPBERRY_PI_5,
+    JETSON_AGX_ORIN,
+    SURFACE_BOOK_3,
+]
+
+#: Table 6 devices (GPU/NPU comparison).
+EXTENDED_DEVICES: List[Device] = [
+    SURFACE_LAPTOP_7,
+    ONEPLUS_12,
+    JETSON_ORIN_NX,
+]
+
+ALL_DEVICES: List[Device] = EVALUATION_DEVICES + EXTENDED_DEVICES
+
+_DEVICE_INDEX: Dict[str, Device] = {device.name.lower(): device
+                                    for device in ALL_DEVICES}
+
+
+def device_by_name(name: str) -> Device:
+    """Look up a device by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _DEVICE_INDEX:
+        known = ", ".join(sorted(d.name for d in ALL_DEVICES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}")
+    return _DEVICE_INDEX[key]

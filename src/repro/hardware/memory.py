@@ -1,0 +1,81 @@
+"""Simple cache/memory-hierarchy model.
+
+The cost model mostly cares about DRAM streaming bandwidth (GEMV weights are
+far larger than any cache), but two second-order effects matter for the
+smaller operands:
+
+* activations and lookup tables that fit in the shared L2 are effectively
+  "free" to re-read, and
+* strided (un-permuted) weight layouts waste part of every DRAM transaction.
+
+:class:`MemoryModel` encapsulates those two effects so the cost model can
+stay a clean roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import CPUSpec
+
+__all__ = ["MemoryModel", "DRAM_TRANSACTION_BYTES"]
+
+#: Typical DRAM/LPDDR transaction granularity; partial use of a transaction
+#: (strided access) wastes the rest of it.
+DRAM_TRANSACTION_BYTES = 64
+
+
+@dataclass
+class MemoryModel:
+    """Effective-bandwidth model for one CPU complex.
+
+    Parameters
+    ----------
+    cpu:
+        The CPU spec providing sustained/per-core bandwidth and cache size.
+    strided_efficiency:
+        Fraction of each DRAM transaction that is useful when weight tiles
+        are *not* stored sequentially (no offline permutation).  The paper's
+        permutation optimization exists precisely to push this back to ~1.
+    """
+
+    cpu: CPUSpec
+    strided_efficiency: float = 0.6
+
+    def cache_resident(self, working_set_bytes: float) -> bool:
+        """Whether a working set fits in the last-level cache."""
+        return working_set_bytes <= self.cpu.l2_cache_mb * 1024 * 1024
+
+    def effective_bandwidth_gbs(
+        self, threads: int, sequential: bool = True
+    ) -> float:
+        """Achievable DRAM bandwidth for a streaming kernel.
+
+        ``threads`` scales bandwidth up to the cluster's sustained limit;
+        non-sequential access derates the result by ``strided_efficiency``.
+        """
+        bandwidth = self.cpu.bandwidth_at(threads)
+        if not sequential:
+            bandwidth *= self.strided_efficiency
+        return bandwidth
+
+    def dram_time_seconds(
+        self,
+        bytes_moved: float,
+        threads: int,
+        sequential: bool = True,
+        reusable_bytes: float = 0.0,
+    ) -> float:
+        """Time to move ``bytes_moved`` bytes from/to DRAM.
+
+        ``reusable_bytes`` identifies the part of the traffic (activations,
+        lookup tables) that stays cache-resident after first touch and is
+        therefore only charged once even if the kernel logically re-reads it.
+        """
+        if bytes_moved < 0:
+            raise ValueError("bytes_moved must be non-negative")
+        chargeable = bytes_moved
+        if reusable_bytes > 0 and self.cache_resident(reusable_bytes):
+            chargeable = max(bytes_moved - reusable_bytes, 0.0) + reusable_bytes
+        bandwidth = self.effective_bandwidth_gbs(threads, sequential)
+        return chargeable / (bandwidth * 1e9)

@@ -1,0 +1,213 @@
+"""Transformer architecture descriptions.
+
+The throughput model only needs the *shapes* of the weight matrices touched
+when generating one token (the decode phase is a sequence of GEMVs over
+every linear layer plus the LM head), so an architecture is a small
+dataclass of dimensions plus helpers that enumerate those shapes.
+
+The three model families of the paper's end-to-end evaluation are included:
+Llama-2-7B (M1 in Figure 8), Llama-2-7B at 2 bits shares the same shapes,
+Llama-2-13B (kernel shapes S3-S5 of Figure 6), and BitNet-b1.58-3B (M3).
+``tiny_arch`` provides a laptop-runnable configuration with the same
+structure for the numerical experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "TransformerArch",
+    "LLAMA_2_7B",
+    "LLAMA_2_13B",
+    "BITNET_3B",
+    "tiny_arch",
+]
+
+
+@dataclass(frozen=True)
+class TransformerArch:
+    """Dimensions of a decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name.
+    hidden_size:
+        Model (embedding) dimension.
+    intermediate_size:
+        MLP expansion dimension (SwiGLU uses gate/up of this size).
+    num_layers:
+        Number of transformer blocks.
+    num_heads / num_kv_heads:
+        Attention heads and key/value heads (equal for multi-head
+        attention; smaller ``num_kv_heads`` models grouped-query attention).
+    vocab_size:
+        Vocabulary size (the LM head is ``vocab_size x hidden_size``).
+    max_seq_len:
+        Maximum context length assumed by the KV-cache sizing.
+    """
+
+    name: str
+    hidden_size: int
+    intermediate_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    vocab_size: int
+    max_seq_len: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} must be divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"num_heads {self.num_heads} must be divisible by "
+                f"num_kv_heads {self.num_kv_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key/value projection width."""
+        return self.head_dim * self.num_kv_heads
+
+    # ------------------------------------------------------------------ #
+    # Shape enumeration
+    # ------------------------------------------------------------------ #
+
+    def layer_linear_shapes(self) -> List[Tuple[str, int, int]]:
+        """Per-layer linear layers as ``(name, out_features M, in_features K)``."""
+        h = self.hidden_size
+        inter = self.intermediate_size
+        return [
+            ("attn.q_proj", h, h),
+            ("attn.k_proj", self.kv_dim, h),
+            ("attn.v_proj", self.kv_dim, h),
+            ("attn.o_proj", h, h),
+            ("mlp.gate_proj", inter, h),
+            ("mlp.up_proj", inter, h),
+            ("mlp.down_proj", h, inter),
+        ]
+
+    def decode_matmul_shapes(self, include_lm_head: bool = True):
+        """All (name, M, K) GEMV shapes touched when generating one token.
+
+        Layer shapes are repeated ``num_layers`` times; the LM head is
+        appended once.  These are the shapes the analytic throughput model
+        feeds to the kernel cost model.
+        """
+        shapes = []
+        for layer in range(self.num_layers):
+            for name, m, k in self.layer_linear_shapes():
+                shapes.append((f"layers.{layer}.{name}", m, k))
+        if include_lm_head:
+            shapes.append(("lm_head", self.vocab_size, self.hidden_size))
+        return shapes
+
+    def num_parameters(self) -> int:
+        """Total parameter count (linear layers + embeddings + LM head)."""
+        linear = sum(m * k for _, m, k in self.layer_linear_shapes())
+        linear *= self.num_layers
+        embeddings = self.vocab_size * self.hidden_size
+        lm_head = self.vocab_size * self.hidden_size
+        norms = (2 * self.num_layers + 1) * self.hidden_size
+        return linear + embeddings + lm_head + norms
+
+    def weight_bytes(self, bits: int, group_size: int = 128,
+                     quantize_lm_head: bool = True) -> int:
+        """Packed model size in bytes at ``bits``-bit weight quantization.
+
+        Linear-layer (and optionally LM-head) weights are packed at ``bits``
+        bits plus fp16 scales per group; embeddings and norms stay fp16.
+        """
+        linear = sum(m * k for _, m, k in self.layer_linear_shapes())
+        linear *= self.num_layers
+        lm_head = self.vocab_size * self.hidden_size
+        quantized = linear + (lm_head if quantize_lm_head else 0)
+        packed = quantized * bits // 8 + (quantized // group_size) * 2
+        fp16 = self.vocab_size * self.hidden_size * 2
+        if not quantize_lm_head:
+            fp16 += lm_head * 2
+        fp16 += (2 * self.num_layers + 1) * self.hidden_size * 2
+        return packed + fp16
+
+    def flops_per_token(self) -> float:
+        """Arithmetic work (FLOPs) of one decode step, matmuls only."""
+        linear = sum(m * k for _, m, k in self.layer_linear_shapes())
+        linear *= self.num_layers
+        linear += self.vocab_size * self.hidden_size
+        return 2.0 * linear
+
+    def kv_cache_bytes_per_token(self) -> int:
+        """fp16 bytes appended to the KV cache for each generated token."""
+        return 2 * self.num_layers * 2 * self.kv_dim
+
+
+LLAMA_2_7B = TransformerArch(
+    name="Llama-2-7B",
+    hidden_size=4096,
+    intermediate_size=11008,
+    num_layers=32,
+    num_heads=32,
+    num_kv_heads=32,
+    vocab_size=32000,
+    max_seq_len=4096,
+)
+
+LLAMA_2_13B = TransformerArch(
+    name="Llama-2-13B",
+    hidden_size=5120,
+    intermediate_size=13824,
+    num_layers=40,
+    num_heads=40,
+    num_kv_heads=40,
+    vocab_size=32000,
+    max_seq_len=4096,
+)
+
+BITNET_3B = TransformerArch(
+    name="BitNet-b1.58-3B",
+    hidden_size=3200,
+    intermediate_size=8640,
+    num_layers=26,
+    num_heads=32,
+    num_kv_heads=32,
+    vocab_size=32000,
+    max_seq_len=2048,
+)
+
+
+def tiny_arch(
+    hidden_size: int = 64,
+    intermediate_size: int = 128,
+    num_layers: int = 2,
+    num_heads: int = 4,
+    num_kv_heads: int = 4,
+    vocab_size: int = 199,
+    max_seq_len: int = 128,
+) -> TransformerArch:
+    """A laptop-runnable architecture with the same structure as Llama.
+
+    Used by the numerical quality experiments and the unit tests: big enough
+    to exercise grouped quantization and the mpGEMM engines, small enough to
+    run a full generation loop in milliseconds.
+    """
+    return TransformerArch(
+        name=f"tiny-llama-{hidden_size}h{num_layers}l",
+        hidden_size=hidden_size,
+        intermediate_size=intermediate_size,
+        num_layers=num_layers,
+        num_heads=num_heads,
+        num_kv_heads=num_kv_heads,
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+    )

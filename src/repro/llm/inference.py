@@ -1,0 +1,112 @@
+"""Token generation loop: prefill + incremental decode with a KV cache.
+
+This mirrors the structure of the llama.cpp main loop the paper integrates
+T-MAC into: a compute-bound prefill over the prompt (mpGEMM) followed by a
+memory-bound decode phase that generates tokens one at a time (mpGEMV).
+The :class:`Generator` also records how many of each matmul shape were
+executed, which the tests use to cross-check the analytic throughput model's
+shape enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.llm.layers import softmax
+from repro.llm.model import TransformerModel
+
+__all__ = ["GenerationResult", "Generator"]
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one generation call."""
+
+    prompt_tokens: List[int]
+    generated_tokens: List[int]
+    logits_history: List[np.ndarray] = field(default_factory=list)
+    prefill_length: int = 0
+    decode_steps: int = 0
+
+    @property
+    def tokens(self) -> List[int]:
+        """Prompt + generated tokens."""
+        return list(self.prompt_tokens) + list(self.generated_tokens)
+
+
+class Generator:
+    """Greedy / temperature sampling generator over a :class:`TransformerModel`."""
+
+    def __init__(self, model: TransformerModel, seed: int = 0):
+        self.model = model
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self,
+        prompt_tokens,
+        max_new_tokens: int = 16,
+        temperature: float = 0.0,
+        stop_token: Optional[int] = None,
+        keep_logits: bool = False,
+    ) -> GenerationResult:
+        """Generate tokens autoregressively.
+
+        Parameters
+        ----------
+        prompt_tokens:
+            Sequence of prompt token ids (non-empty).
+        max_new_tokens:
+            Maximum number of tokens to generate.
+        temperature:
+            0 for greedy decoding, otherwise softmax-temperature sampling.
+        stop_token:
+            Optional token id that terminates generation when produced.
+        keep_logits:
+            Record the logits of every decode step (used by tests and the
+            quality evaluation).
+        """
+        prompt = [int(t) for t in prompt_tokens]
+        if not prompt:
+            raise ValueError("prompt_tokens must be non-empty")
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+
+        caches = self.model.new_cache()
+        result = GenerationResult(prompt_tokens=prompt, generated_tokens=[])
+
+        # Prefill: one pass over the whole prompt (mpGEMM regime).
+        logits = self.model.forward(np.asarray(prompt), caches=caches,
+                                    start_position=0)
+        result.prefill_length = len(prompt)
+        last_logits = logits[-1]
+        if keep_logits:
+            result.logits_history.append(last_logits.copy())
+
+        position = len(prompt)
+        for step in range(max_new_tokens):
+            token = self._sample(last_logits, temperature)
+            result.generated_tokens.append(token)
+            if stop_token is not None and token == stop_token:
+                break
+            if step == max_new_tokens - 1:
+                break  # no forward needed after the final token
+            if position >= self.model.arch.max_seq_len - 1:
+                break
+            # Decode: one token at a time (mpGEMV regime).
+            logits = self.model.forward(np.asarray([token]), caches=caches,
+                                        start_position=position)
+            result.decode_steps += 1
+            last_logits = logits[-1]
+            if keep_logits:
+                result.logits_history.append(last_logits.copy())
+            position += 1
+        return result
+
+    def _sample(self, logits: np.ndarray, temperature: float) -> int:
+        if temperature <= 0.0:
+            return int(np.argmax(logits))
+        probs = softmax(logits / temperature)
+        return int(self._rng.choice(len(probs), p=probs))

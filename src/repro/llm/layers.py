@@ -1,0 +1,229 @@
+"""Transformer layers (numpy) with pluggable mpGEMM engines.
+
+The layer zoo matches the Llama architecture the paper deploys: RMSNorm,
+rotary position embeddings, multi-head (or grouped-query) attention with a
+KV cache, and a SwiGLU MLP.  Every weight-bearing projection goes through a
+:class:`~repro.llm.engine.LinearOperator` created by the active engine, so
+the same model can run un-quantized, through the dequantization baseline, or
+through T-MAC — which is how the model-quality comparison of Table 4 is
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.llm.architecture import TransformerArch
+from repro.llm.engine import LinearOperator, MatmulEngine
+
+__all__ = [
+    "rms_norm",
+    "softmax",
+    "silu",
+    "build_rope_cache",
+    "apply_rope",
+    "KVCache",
+    "Attention",
+    "MLP",
+    "TransformerBlock",
+]
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer normalization (no mean subtraction)."""
+    x = np.asarray(x, dtype=np.float32)
+    variance = np.mean(x * x, axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation used by the SwiGLU MLP."""
+    x = np.asarray(x, dtype=np.float32)
+    return x / (1.0 + np.exp(-x))
+
+
+def build_rope_cache(max_seq_len: int, head_dim: int, base: float = 10000.0):
+    """Precompute rotary-embedding cos/sin tables of shape [seq, head_dim/2]."""
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    positions = np.arange(max_seq_len, dtype=np.float32)
+    freqs = 1.0 / (base ** (np.arange(0, head_dim, 2, dtype=np.float32) / head_dim))
+    angles = np.outer(positions, freqs)
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray,
+               positions: np.ndarray) -> np.ndarray:
+    """Apply rotary position embeddings.
+
+    ``x`` has shape ``[seq, heads, head_dim]``; ``positions`` gives the
+    absolute position of each sequence element.
+    """
+    seq, heads, head_dim = x.shape
+    half = head_dim // 2
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    c = cos[positions][:, None, :]
+    s = sin[positions][:, None, :]
+    rotated_first = x1 * c - x2 * s
+    rotated_second = x2 * c + x1 * s
+    return np.concatenate([rotated_first, rotated_second], axis=-1)
+
+
+@dataclass
+class KVCache:
+    """Per-layer key/value cache for incremental decoding."""
+
+    keys: List[np.ndarray] = field(default_factory=list)
+    values: List[np.ndarray] = field(default_factory=list)
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append keys/values of shape ``[seq, kv_heads, head_dim]``."""
+        self.keys.append(np.asarray(k, dtype=np.float32))
+        self.values.append(np.asarray(v, dtype=np.float32))
+
+    def stacked(self):
+        """All cached keys and values as two arrays ``[total_seq, heads, dim]``."""
+        if not self.keys:
+            raise ValueError("KV cache is empty")
+        return np.concatenate(self.keys, axis=0), np.concatenate(self.values, axis=0)
+
+    @property
+    def length(self) -> int:
+        """Number of cached positions."""
+        return int(sum(k.shape[0] for k in self.keys))
+
+    def memory_bytes(self) -> int:
+        """fp32 bytes currently held by the cache."""
+        return int(sum(k.nbytes + v.nbytes
+                       for k, v in zip(self.keys, self.values)))
+
+
+class Attention:
+    """Multi-head / grouped-query attention with RoPE and a KV cache."""
+
+    def __init__(self, arch: TransformerArch, engine: MatmulEngine,
+                 weights: dict, layer_index: int = 0):
+        self.arch = arch
+        self.layer_index = layer_index
+        prefix = f"layers.{layer_index}.attn"
+        self.q_proj: LinearOperator = engine.make_linear(
+            weights["q_proj"], f"{prefix}.q_proj")
+        self.k_proj: LinearOperator = engine.make_linear(
+            weights["k_proj"], f"{prefix}.k_proj")
+        self.v_proj: LinearOperator = engine.make_linear(
+            weights["v_proj"], f"{prefix}.v_proj")
+        self.o_proj: LinearOperator = engine.make_linear(
+            weights["o_proj"], f"{prefix}.o_proj")
+        self._cos, self._sin = build_rope_cache(arch.max_seq_len, arch.head_dim)
+
+    def forward(self, x: np.ndarray, positions: np.ndarray,
+                cache: Optional[KVCache] = None) -> np.ndarray:
+        """Attention over ``x`` of shape ``[seq, hidden]``.
+
+        When ``cache`` is provided, the new keys/values are appended and
+        attention spans the whole cached history (incremental decoding).
+        """
+        arch = self.arch
+        seq = x.shape[0]
+
+        q = self.q_proj(x).reshape(seq, arch.num_heads, arch.head_dim)
+        k = self.k_proj(x).reshape(seq, arch.num_kv_heads, arch.head_dim)
+        v = self.v_proj(x).reshape(seq, arch.num_kv_heads, arch.head_dim)
+
+        q = apply_rope(q, self._cos, self._sin, positions)
+        k = apply_rope(k, self._cos, self._sin, positions)
+
+        if cache is not None:
+            cache.append(k, v)
+            k_all, v_all = cache.stacked()
+        else:
+            k_all, v_all = k, v
+
+        group = arch.num_heads // arch.num_kv_heads
+        if group > 1:
+            k_all = np.repeat(k_all, group, axis=1)
+            v_all = np.repeat(v_all, group, axis=1)
+
+        total = k_all.shape[0]
+        scale = 1.0 / np.sqrt(arch.head_dim)
+        # scores[h, i, j] = q[i, h, :] . k[j, h, :]
+        scores = np.einsum("ihd,jhd->hij", q, k_all, optimize=True) * scale
+
+        # Causal mask: query at absolute position p attends to cached
+        # positions 0..p.
+        key_positions = np.arange(total)
+        mask = key_positions[None, :] > positions[:, None]
+        scores = np.where(mask[None, :, :], -1e30, scores)
+
+        probs = softmax(scores, axis=-1)
+        context = np.einsum("hij,jhd->ihd", probs, v_all, optimize=True)
+        context = context.reshape(seq, arch.num_heads * arch.head_dim)
+        return self.o_proj(context)
+
+
+class MLP:
+    """SwiGLU feed-forward block: ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(self, arch: TransformerArch, engine: MatmulEngine,
+                 weights: dict, layer_index: int = 0):
+        prefix = f"layers.{layer_index}.mlp"
+        self.gate_proj = engine.make_linear(weights["gate_proj"],
+                                            f"{prefix}.gate_proj")
+        self.up_proj = engine.make_linear(weights["up_proj"],
+                                          f"{prefix}.up_proj")
+        self.down_proj = engine.make_linear(weights["down_proj"],
+                                            f"{prefix}.down_proj")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the SwiGLU MLP to ``[seq, hidden]`` activations."""
+        return self.down_proj(silu(self.gate_proj(x)) * self.up_proj(x))
+
+
+class TransformerBlock:
+    """One decoder block: RMSNorm -> attention -> RMSNorm -> MLP, residual."""
+
+    def __init__(self, arch: TransformerArch, engine: MatmulEngine,
+                 weights: dict, layer_index: int = 0):
+        self.arch = arch
+        self.layer_index = layer_index
+        self.input_norm_weight = np.asarray(weights["input_norm"],
+                                            dtype=np.float32)
+        self.post_attn_norm_weight = np.asarray(weights["post_attn_norm"],
+                                                dtype=np.float32)
+        self.attention = Attention(arch, engine, weights["attention"],
+                                   layer_index)
+        self.mlp = MLP(arch, engine, weights["mlp"], layer_index)
+
+    def forward(self, x: np.ndarray, positions: np.ndarray,
+                cache: Optional[KVCache] = None) -> np.ndarray:
+        """Run the block over ``[seq, hidden]`` activations."""
+        attn_out = self.attention.forward(
+            rms_norm(x, self.input_norm_weight), positions, cache
+        )
+        x = x + attn_out
+        mlp_out = self.mlp.forward(rms_norm(x, self.post_attn_norm_weight))
+        return x + mlp_out
+
+    def linears(self) -> List[LinearOperator]:
+        """All linear operators in this block (for stats/inspection)."""
+        return [
+            self.attention.q_proj,
+            self.attention.k_proj,
+            self.attention.v_proj,
+            self.attention.o_proj,
+            self.mlp.gate_proj,
+            self.mlp.up_proj,
+            self.mlp.down_proj,
+        ]

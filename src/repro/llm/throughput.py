@@ -1,0 +1,209 @@
+"""Analytic end-to-end token-generation throughput model.
+
+Token generation (decode) executes one mpGEMV per linear layer per token,
+plus attention over the KV cache and a handful of element-wise operators.
+The estimator walks the real layer shapes of an architecture
+(:meth:`TransformerArch.decode_matmul_shapes`), prices each GEMV with the
+roofline cost model for the chosen engine, and adds a non-matmul overhead
+term (KV-cache traffic, element-wise work, per-layer framework dispatch).
+
+The per-token vector-instruction and DRAM-traffic totals are carried in the
+result so that the power model (:mod:`repro.energy`) can convert the same
+estimate into watts and joules per token.
+
+This is the model behind Figure 8 (tokens/s on four devices), Figure 9 and
+Table 5 (combined with the power model), Table 4's throughput column and
+Table 7 (CPU vs GPU vs NPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.gpu import gpu_token_latency
+from repro.core.config import TMACConfig
+from repro.hardware.cost_model import CostModel, KernelLatency
+from repro.hardware.device import Device
+from repro.llm.architecture import TransformerArch
+from repro.simd.profile import profile_dequant_gemm, profile_tmac_gemm
+
+__all__ = [
+    "ThroughputEstimate",
+    "estimate_token_throughput",
+    "DISPATCH_SECONDS_PER_LAYER",
+]
+
+#: Framework overhead charged per transformer layer per token: thread-pool
+#: synchronization and the ~10 small non-matmul operators (norms, RoPE,
+#: softmax, residual adds) llama.cpp dispatches per layer.  Calibrated so
+#: that small models (BitNet-3B) do not extrapolate to unrealistically high
+#: token rates on big machines, as the paper also observes ("operators other
+#: than mpGEMV/mpGEMM" limit the end-to-end speedup).
+DISPATCH_SECONDS_PER_LAYER = 150e-6
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Per-token latency breakdown and throughput for one configuration."""
+
+    device: str
+    model: str
+    engine: str
+    bits: int
+    threads: int
+    tokens_per_sec: float
+    seconds_per_token: float
+    matmul_seconds: float
+    overhead_seconds: float
+    instructions_per_token: float = 0.0
+    dram_gb_per_token: float = 0.0
+    representative_kernel: Optional[KernelLatency] = None
+
+    def speedup_over(self, other: "ThroughputEstimate") -> float:
+        """Throughput ratio of this estimate over another."""
+        return self.tokens_per_sec / other.tokens_per_sec
+
+
+def _non_matmul_overhead(
+    device: Device,
+    arch: TransformerArch,
+    threads: int,
+    context_length: int,
+) -> float:
+    """Non-matmul time per decode step (KV attention, element-wise, dispatch)."""
+    cpu = device.cpu
+    kv_bytes = 2.0 * arch.num_layers * arch.kv_dim * context_length * 2
+    kv_seconds = kv_bytes / (cpu.bandwidth_at(threads) * 1e9)
+
+    elementwise_flops = 20.0 * arch.hidden_size * arch.num_layers
+    fp_flops_per_sec = (
+        cpu.frequency_ghz * 1e9 * cpu.simd_throughput_scale
+        * cpu.isa.lanes_fp16 * 2 * threads
+    )
+    elementwise_seconds = elementwise_flops / fp_flops_per_sec
+
+    dispatch_seconds = DISPATCH_SECONDS_PER_LAYER * arch.num_layers
+    return kv_seconds + elementwise_seconds + dispatch_seconds
+
+
+def _fp16_matmul_seconds(device: Device, arch: TransformerArch,
+                         threads: int) -> float:
+    """Decode-step matmul time for the un-quantized fp16 model."""
+    cpu = device.cpu
+    weight_bytes = 2.0 * (arch.flops_per_token() / 2.0)
+    memory_seconds = weight_bytes / (cpu.bandwidth_at(threads) * 1e9)
+    fp_flops_per_sec = (
+        cpu.frequency_ghz * 1e9 * cpu.simd_throughput_scale
+        * cpu.isa.lanes_fp16 * 2 * threads
+    )
+    compute_seconds = arch.flops_per_token() / fp_flops_per_sec
+    return max(memory_seconds, compute_seconds)
+
+
+def estimate_token_throughput(
+    device: Device,
+    arch: TransformerArch,
+    bits: int,
+    engine: str = "tmac",
+    threads: Optional[int] = None,
+    config: Optional[TMACConfig] = None,
+    context_length: int = 256,
+    group_size: int = 128,
+) -> ThroughputEstimate:
+    """Estimate decode throughput (tokens/s) for one configuration.
+
+    Parameters
+    ----------
+    device / arch / bits:
+        Platform, model architecture and weight bit width.
+    engine:
+        ``"tmac"``, ``"llama.cpp"`` (alias ``"dequant"``), ``"fp16"``
+        (un-quantized CPU baseline) or ``"gpu"`` (llama.cpp GPU backend).
+    threads:
+        CPU threads; defaults to the device's ``default_threads``.  Ignored
+        by the GPU engine.
+    config:
+        Optional explicit :class:`TMACConfig` (e.g. with fast aggregation)
+        for the T-MAC engine.
+    context_length:
+        Assumed KV-cache length for the attention overhead term.
+    """
+    threads = threads or device.default_threads
+    key = engine.lower()
+    shapes = arch.decode_matmul_shapes()
+    model = CostModel(device)
+    isa = device.isa
+
+    representative: Optional[KernelLatency] = None
+    instructions = 0.0
+    dram_bytes = 0.0
+
+    if key in ("tmac", "t-mac"):
+        cfg = config or TMACConfig(bits=bits)
+        if cfg.bits != bits:
+            cfg = cfg.with_options(bits=bits)
+        matmul_seconds = 0.0
+        for _, m, k in shapes:
+            profile = profile_tmac_gemm(1, m, k, cfg, isa=isa,
+                                        group_size=group_size)
+            lat = model.kernel_latency(profile, threads=threads)
+            matmul_seconds += lat.seconds
+            instructions += profile.total_instructions()
+            dram_bytes += profile.dram_read_bytes + profile.dram_write_bytes
+            representative = lat
+        engine_name = "T-MAC (+FA)" if cfg.fast_aggregation else "T-MAC"
+    elif key in ("llama.cpp", "llamacpp", "dequant"):
+        matmul_seconds = 0.0
+        for _, m, k in shapes:
+            profile = profile_dequant_gemm(1, m, k, bits, isa=isa)
+            lat = model.kernel_latency(profile, threads=threads)
+            matmul_seconds += lat.seconds
+            instructions += profile.total_instructions()
+            dram_bytes += profile.dram_read_bytes + profile.dram_write_bytes
+            representative = lat
+        engine_name = "llama.cpp (CPU)"
+    elif key in ("fp16", "reference", "unquantized"):
+        matmul_seconds = _fp16_matmul_seconds(device, arch, threads)
+        weights = arch.flops_per_token() / 2.0
+        instructions = weights / isa.lanes_fp16 + weights * 2 / isa.width_bits * 8
+        dram_bytes = weights * 2
+        engine_name = "un-quantized (fp16)"
+    elif key == "gpu":
+        weight_bytes = arch.weight_bytes(bits, group_size=group_size)
+        num_kernels = len(shapes) + 3 * arch.num_layers
+        seconds = gpu_token_latency(device, weight_bytes, num_kernels,
+                                    arch.flops_per_token(), bits=bits)
+        return ThroughputEstimate(
+            device=device.name,
+            model=arch.name,
+            engine="llama.cpp (GPU)",
+            bits=bits,
+            threads=0,
+            tokens_per_sec=1.0 / seconds,
+            seconds_per_token=seconds,
+            matmul_seconds=seconds,
+            overhead_seconds=0.0,
+            instructions_per_token=0.0,
+            dram_gb_per_token=weight_bytes / 1e9,
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+    overhead = _non_matmul_overhead(device, arch, threads, context_length)
+    seconds = matmul_seconds + overhead
+    kv_bytes = 2.0 * arch.num_layers * arch.kv_dim * context_length * 2
+    return ThroughputEstimate(
+        device=device.name,
+        model=arch.name,
+        engine=engine_name,
+        bits=bits,
+        threads=threads,
+        tokens_per_sec=1.0 / seconds,
+        seconds_per_token=seconds,
+        matmul_seconds=matmul_seconds,
+        overhead_seconds=overhead,
+        instructions_per_token=instructions,
+        dram_gb_per_token=(dram_bytes + kv_bytes) / 1e9,
+        representative_kernel=representative,
+    )

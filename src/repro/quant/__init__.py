@@ -1,0 +1,28 @@
+"""Quantization substrate for low-bit LLM weights and activations.
+
+The paper evaluates weight-only quantized ("low-bit") LLMs: 4-bit GPTQ,
+3/2-bit BitDistiller, 1-bit OneBit Llama models and ternary (1.58-bit)
+BitNet models.  This subpackage provides the quantization formats those
+models use, at the numerical level that the mpGEMM kernels consume:
+
+* :mod:`repro.quant.uniform` — per-group uniform (round-to-nearest) weight
+  quantization to 1..8 bits, the format of GPTQ/BitDistiller/OneBit exports.
+* :mod:`repro.quant.bitnet` — ternary {-1, 0, +1} BitNet b1.58 weights,
+  interpreted as 2-bit codes exactly as the paper does.
+* :mod:`repro.quant.activation` — dynamic per-row int8 activation
+  quantization (the llama.cpp ``Q8_0`` analogue used by the dequantization
+  baseline).
+"""
+
+from repro.quant.activation import QuantizedActivation, quantize_activation
+from repro.quant.bitnet import quantize_bitnet
+from repro.quant.uniform import QuantizedWeight, dequantize_weights, quantize_weights
+
+__all__ = [
+    "QuantizedWeight",
+    "quantize_weights",
+    "dequantize_weights",
+    "quantize_bitnet",
+    "QuantizedActivation",
+    "quantize_activation",
+]

@@ -1,0 +1,56 @@
+"""Hardware intrinsics for table lookup and fast aggregation (paper Table 1).
+
+The table is data, not behaviour: it records which concrete instruction each
+ISA uses for the two operations T-MAC leans on, and is exposed so the
+documentation/benchmark layer can print the same table the paper shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["IntrinsicEntry", "INTRINSICS_TABLE", "intrinsics_for"]
+
+
+@dataclass(frozen=True)
+class IntrinsicEntry:
+    """Lookup / fast-aggregation intrinsic names for one instruction set."""
+
+    instruction_set: str
+    lookup: str
+    fast_aggregation: str
+    lookup_width_bits: int
+    notes: str = ""
+
+
+INTRINSICS_TABLE: Dict[str, IntrinsicEntry] = {
+    "neon": IntrinsicEntry(
+        instruction_set="NEON",
+        lookup="vqtbl1q_u8",
+        fast_aggregation="vrhaddq_u8",
+        lookup_width_bits=128,
+        notes="128-bit TBL exactly holds the g=4 table (16 int8 entries).",
+    ),
+    "avx2": IntrinsicEntry(
+        instruction_set="AVX2",
+        lookup="_mm256_shuffle_epi8",
+        fast_aggregation="_mm256_avg_epu8",
+        lookup_width_bits=256,
+        notes=(
+            "The 256-bit shuffle operates on two independent 128-bit lanes, "
+            "so the 16-entry table is duplicated into both halves and 32 "
+            "indices are looked up per instruction."
+        ),
+    ),
+}
+
+
+def intrinsics_for(isa_name: str) -> IntrinsicEntry:
+    """Return the Table 1 row for an instruction set name ("neon"/"avx2")."""
+    key = isa_name.lower()
+    if key not in INTRINSICS_TABLE:
+        raise KeyError(
+            f"unknown ISA {isa_name!r}; expected one of {sorted(INTRINSICS_TABLE)}"
+        )
+    return INTRINSICS_TABLE[key]

@@ -1,0 +1,140 @@
+"""Instruction-set descriptions used by the SIMD machine and the cost model.
+
+Only the properties that matter for the paper's analysis are modeled:
+
+* the vector width (128-bit NEON, 256-bit AVX2),
+* the number of architectural vector registers (32 / 16),
+* the per-category relative throughput (how many of these operations a core
+  can issue per cycle), which is what makes int8 aggregation twice as fast
+  as int16 and the ``rhadd`` fast-aggregation path attractive,
+* the 8-bit in-register table lookup reach (16 entries per 128-bit lane).
+
+The numbers are not microarchitecturally exact for any single core; they are
+representative ratios (lookup/arith/widening/etc.) that the paper's argument
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["InstructionCategory", "InstructionSet", "NEON", "AVX2", "isa_for_name"]
+
+
+class InstructionCategory:
+    """Symbolic instruction categories counted by the kernel profiles."""
+
+    LOOKUP = "lookup"            # TBL / PSHUFB
+    ADD_INT8 = "add_int8"        # int8 add / rhadd (fast aggregation)
+    ADD_INT16 = "add_int16"      # widening int16 add (exact aggregation)
+    ADD_FP = "add_fp"            # fp16/fp32 vector add
+    MUL_FP = "mul_fp"            # fp multiply (scales)
+    DOT_INT8 = "dot_int8"        # int8 dot product (sdot / vpdpbusd-like)
+    UNPACK = "unpack"            # AND / SHR+AND nibble unpack
+    SHUFFLE = "shuffle"          # permutes / swizzles / interleave fixups
+    CONVERT = "convert"          # int <-> fp conversions, widen/narrow
+    LOAD = "load"                # vector loads
+    STORE = "store"              # vector stores
+    SCALAR = "scalar"            # loop/address overhead
+
+    ALL = (
+        LOOKUP,
+        ADD_INT8,
+        ADD_INT16,
+        ADD_FP,
+        MUL_FP,
+        DOT_INT8,
+        UNPACK,
+        SHUFFLE,
+        CONVERT,
+        LOAD,
+        STORE,
+        SCALAR,
+    )
+
+
+@dataclass(frozen=True)
+class InstructionSet:
+    """A SIMD instruction set as seen by the cost model.
+
+    Attributes
+    ----------
+    name:
+        "neon" or "avx2".
+    width_bits:
+        Vector register width.
+    num_registers:
+        Architectural vector register count (spilling beyond this is what
+        the tiling configuration must avoid).
+    lookup_reach:
+        Number of 8-bit table entries addressable by a single lookup
+        instruction *per 128-bit lane* (16 for both TBL and PSHUFB).
+    throughput:
+        Instructions issued per cycle per core, by category.  Ratios encode
+        the paper's observations: int8 adds are twice as fast as widening
+        int16 adds; lookups issue at the same rate as simple int8 ALU ops.
+    """
+
+    name: str
+    width_bits: int
+    num_registers: int
+    lookup_reach: int = 16
+    throughput: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def lanes_int8(self) -> int:
+        """Number of 8-bit lanes per vector register."""
+        return self.width_bits // 8
+
+    @property
+    def lanes_fp16(self) -> int:
+        """Number of 16-bit lanes per vector register."""
+        return self.width_bits // 16
+
+    def throughput_of(self, category: str) -> float:
+        """Issue rate (instructions/cycle/core) for an instruction category."""
+        if category not in self.throughput:
+            raise KeyError(f"unknown instruction category {category!r}")
+        return self.throughput[category]
+
+
+_DEFAULT_THROUGHPUT = {
+    InstructionCategory.LOOKUP: 2.0,
+    InstructionCategory.ADD_INT8: 2.0,
+    InstructionCategory.ADD_INT16: 1.0,
+    InstructionCategory.ADD_FP: 2.0,
+    InstructionCategory.MUL_FP: 2.0,
+    InstructionCategory.DOT_INT8: 2.0,
+    InstructionCategory.UNPACK: 2.0,
+    InstructionCategory.SHUFFLE: 2.0,
+    InstructionCategory.CONVERT: 1.0,
+    InstructionCategory.LOAD: 2.0,
+    InstructionCategory.STORE: 1.0,
+    InstructionCategory.SCALAR: 4.0,
+}
+
+
+NEON = InstructionSet(
+    name="neon",
+    width_bits=128,
+    num_registers=32,
+    lookup_reach=16,
+    throughput=dict(_DEFAULT_THROUGHPUT),
+)
+
+AVX2 = InstructionSet(
+    name="avx2",
+    width_bits=256,
+    num_registers=16,
+    lookup_reach=16,
+    throughput=dict(_DEFAULT_THROUGHPUT),
+)
+
+
+def isa_for_name(name: str) -> InstructionSet:
+    """Look up an instruction set by name ("neon" or "avx2")."""
+    table = {"neon": NEON, "avx2": AVX2}
+    if name not in table:
+        raise KeyError(f"unknown ISA {name!r}; expected one of {sorted(table)}")
+    return table[name]

@@ -1,0 +1,275 @@
+"""A small SIMD register machine that executes kernel basic blocks.
+
+The machine works on numpy vectors whose length equals the ISA's 8-bit lane
+count and exposes the handful of instructions the T-MAC and llama.cpp inner
+loops are built from: in-register table lookup (``TBL``/``PSHUFB``), nibble
+unpacking (``AND``/``SHR``), widening adds, rounding-average adds
+(``vrhadd``/``avg``) and int8 dot products.
+
+Every instruction issued is counted by category, so executing a basic block
+yields both the numeric result *and* the instruction profile.  Unit tests
+assert that
+
+* the numeric result matches the plain numpy computation, and
+* the instruction counts match the closed-form profiles in
+  :mod:`repro.simd.profile` for the same block,
+
+which is what lets the analytic profiles stand in for execution on the
+paper-scale problems.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+import numpy as np
+
+from repro.simd.isa import AVX2, NEON, InstructionCategory, InstructionSet
+
+__all__ = ["SIMDMachine", "tmac_block_gemv", "dequant_block_gemv"]
+
+
+class SIMDMachine:
+    """Vector execution engine with per-category instruction counting.
+
+    Parameters
+    ----------
+    isa:
+        The instruction set to model (:data:`repro.simd.isa.NEON` or
+        :data:`repro.simd.isa.AVX2`).  Determines the lane count of every
+        vector operand.
+    """
+
+    def __init__(self, isa: InstructionSet = NEON):
+        self.isa = isa
+        self.counts: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lanes(self) -> int:
+        """Number of 8-bit lanes per vector register."""
+        return self.isa.lanes_int8
+
+    def reset(self) -> None:
+        """Clear the instruction counters."""
+        self.counts.clear()
+
+    def instruction_counts(self) -> Dict[str, int]:
+        """Copy of the per-category instruction counts."""
+        return dict(self.counts)
+
+    def total_instructions(self) -> int:
+        """Total number of vector instructions issued."""
+        return int(sum(self.counts.values()))
+
+    def _count(self, category: str, amount: int = 1) -> None:
+        self.counts[category] += amount
+
+    def _vec(self, values, dtype) -> np.ndarray:
+        arr = np.asarray(values, dtype=dtype)
+        if arr.ndim != 1 or arr.size != self.lanes:
+            raise ValueError(
+                f"operand must be a 1-D vector of {self.lanes} lanes, "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # Instructions
+    # ------------------------------------------------------------------ #
+
+    def load(self, values, dtype=np.uint8) -> np.ndarray:
+        """Vector load of one register's worth of data."""
+        self._count(InstructionCategory.LOAD)
+        return self._vec(values, dtype)
+
+    def store(self, values) -> np.ndarray:
+        """Vector store; returns the stored values."""
+        self._count(InstructionCategory.STORE)
+        return np.asarray(values).copy()
+
+    def and_mask(self, a: np.ndarray, mask: int) -> np.ndarray:
+        """Bitwise AND with an immediate mask (nibble extraction)."""
+        self._count(InstructionCategory.UNPACK)
+        return (np.asarray(a, dtype=np.uint8) & mask).astype(np.uint8)
+
+    def shr(self, a: np.ndarray, shift: int) -> np.ndarray:
+        """Logical shift right by an immediate."""
+        self._count(InstructionCategory.UNPACK)
+        return (np.asarray(a, dtype=np.uint8) >> shift).astype(np.uint8)
+
+    def tbl(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """In-register table lookup (NEON ``vqtbl1q_u8`` / AVX2 ``pshufb``).
+
+        ``table`` holds 16 int8 entries (the g=4 lookup table); ``indices``
+        is a full vector of 8-bit indices.  Out-of-range indices return 0,
+        matching the NEON semantics.  On AVX2 the same 16-entry table is
+        conceptually duplicated into both 128-bit lanes, so a single
+        instruction still serves a full 32-lane index vector.
+        """
+        self._count(InstructionCategory.LOOKUP)
+        tab = np.asarray(table, dtype=np.int8)
+        if tab.size != 16:
+            raise ValueError(f"table must have 16 entries, got {tab.size}")
+        idx = self._vec(indices, np.uint8)
+        out = np.where(idx < 16, tab[idx % 16], 0)
+        return out.astype(np.int8)
+
+    def add_int16(self, acc: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Widening accumulate: int8 values added into int16 accumulators."""
+        self._count(InstructionCategory.ADD_INT16)
+        return (
+            np.asarray(acc, dtype=np.int16) + np.asarray(values, dtype=np.int16)
+        ).astype(np.int16)
+
+    def add_int32(self, acc: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Widening accumulate into int32 accumulators."""
+        self._count(InstructionCategory.ADD_INT16)
+        return (
+            np.asarray(acc, dtype=np.int32) + np.asarray(values, dtype=np.int32)
+        ).astype(np.int32)
+
+    def rhadd_i8(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Signed rounding halving add (``vrhaddq_s8``): ``(a + b + 1) >> 1``."""
+        self._count(InstructionCategory.ADD_INT8)
+        wide = np.asarray(a, dtype=np.int16) + np.asarray(b, dtype=np.int16) + 1
+        return (wide >> 1).astype(np.int8)
+
+    def add_fp(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Floating-point vector add."""
+        self._count(InstructionCategory.ADD_FP)
+        return np.asarray(a, dtype=np.float32) + np.asarray(b, dtype=np.float32)
+
+    def mul_fp(self, a: np.ndarray, b) -> np.ndarray:
+        """Floating-point vector multiply (scale application)."""
+        self._count(InstructionCategory.MUL_FP)
+        return np.asarray(a, dtype=np.float32) * np.asarray(b, dtype=np.float32)
+
+    def convert(self, values: np.ndarray, dtype) -> np.ndarray:
+        """Lane-wise type conversion (widen/narrow, int <-> fp)."""
+        self._count(InstructionCategory.CONVERT)
+        return np.asarray(values).astype(dtype)
+
+    def dot_int8(self, acc: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Int8 dot product (``sdot``-style): 4-element dot per 32-bit lane.
+
+        ``a`` and ``b`` are full int8 vectors; each group of 4 adjacent
+        products is summed into the corresponding int32 accumulator lane.
+        """
+        self._count(InstructionCategory.DOT_INT8)
+        av = np.asarray(a, dtype=np.int32)
+        bv = np.asarray(b, dtype=np.int32)
+        prod = (av * bv).reshape(-1, 4).sum(axis=1)
+        return (np.asarray(acc, dtype=np.int32) + prod).astype(np.int32)
+
+
+def tmac_block_gemv(
+    machine: SIMDMachine,
+    luts: np.ndarray,
+    indices: np.ndarray,
+    fast_aggregation: bool = False,
+) -> np.ndarray:
+    """Execute one T-MAC bit-plane block on the SIMD machine.
+
+    Computes, for every output row ``m``, ``sum_j luts[j, indices[m, j]]`` —
+    the inner loop of Algorithm 1 for one bit plane and one weight
+    quantization group — using only machine instructions: a vector load of
+    the packed indices, nibble unpacking, ``TBL`` lookups and widening adds
+    (or a rounding-average tree when ``fast_aggregation``).
+
+    Parameters
+    ----------
+    machine:
+        The :class:`SIMDMachine` to execute on (counts are accumulated).
+    luts:
+        ``[J, 16]`` int8 quantized tables (one per activation group).
+    indices:
+        ``[M, J]`` uint8 weight indices with values in ``[0, 16)``.
+        ``M`` must be a multiple of the machine's lane count.
+
+    Returns
+    -------
+    np.ndarray
+        Aggregated per-output values: exact int32 sums, or the fast
+        aggregation's float estimate when ``fast_aggregation`` is set.
+    """
+    luts = np.asarray(luts, dtype=np.int8)
+    idx = np.asarray(indices, dtype=np.uint8)
+    m, j_count = idx.shape
+    lanes = machine.lanes
+    if m % lanes != 0:
+        raise ValueError(f"M={m} must be a multiple of the lane count {lanes}")
+    if luts.shape != (j_count, 16):
+        raise ValueError(f"luts must have shape [{j_count}, 16], got {luts.shape}")
+
+    out = np.zeros(m, dtype=np.float64)
+    for m0 in range(0, m, lanes):
+        if fast_aggregation:
+            looked_up = []
+            for j in range(j_count):
+                vec = machine.load(idx[m0:m0 + lanes, j])
+                looked_up.append(machine.tbl(luts[j], vec))
+            # Rounding-average tree over the J looked-up vectors.
+            level = looked_up
+            while len(level) > 1:
+                if len(level) % 2 == 1:
+                    level = level + [level[-1]]
+                level = [
+                    machine.rhadd_i8(level[i], level[i + 1])
+                    for i in range(0, len(level), 2)
+                ]
+            depth = int(np.ceil(np.log2(max(2, j_count))))
+            estimate = (
+                level[0].astype(np.float64) - 0.25 * depth
+            ) * j_count
+            out[m0:m0 + lanes] = estimate
+        else:
+            acc = np.zeros(lanes, dtype=np.int32)
+            for j in range(j_count):
+                vec = machine.load(idx[m0:m0 + lanes, j])
+                values = machine.tbl(luts[j], vec)
+                acc = machine.add_int32(acc, values)
+            out[m0:m0 + lanes] = machine.store(acc)
+    return out
+
+
+def dequant_block_gemv(
+    machine: SIMDMachine,
+    weight_codes: np.ndarray,
+    act_codes: np.ndarray,
+) -> np.ndarray:
+    """Execute one llama.cpp-style int8 dot-product block on the machine.
+
+    Computes ``sum_k weight_codes[m, k] * act_codes[k]`` for every output
+    row using vector loads and int8 dot-product instructions — the
+    dequantization baseline's inner loop after weights have been decoded to
+    int8 (the decode itself is counted by the analytic profile).
+
+    Parameters
+    ----------
+    weight_codes:
+        ``[M, K]`` int8 decoded weights; ``K`` must be a multiple of the
+        lane count.
+    act_codes:
+        ``[K]`` int8 quantized activations.
+    """
+    w = np.asarray(weight_codes, dtype=np.int8)
+    a = np.asarray(act_codes, dtype=np.int8)
+    m, k = w.shape
+    lanes = machine.lanes
+    if k % lanes != 0:
+        raise ValueError(f"K={k} must be a multiple of the lane count {lanes}")
+
+    out = np.zeros(m, dtype=np.int64)
+    for row in range(m):
+        acc = np.zeros(lanes // 4, dtype=np.int32)
+        for k0 in range(0, k, lanes):
+            wv = machine.load(w[row, k0:k0 + lanes], dtype=np.int8)
+            av = machine.load(a[k0:k0 + lanes], dtype=np.int8)
+            acc = machine.dot_int8(acc, wv, av)
+        out[row] = int(machine.store(acc).sum())
+    return out

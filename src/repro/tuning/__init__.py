@@ -1,0 +1,18 @@
+"""Tile-configuration tuning (the AutoTVM stand-in).
+
+The paper generates its kernels through TVM and tunes tiling parameters per
+device with AutoTVM.  Here the search runs over the analytic cost model:
+:mod:`repro.tuning.search_space` enumerates candidate tile configurations
+that fit the device's vector register file, and :mod:`repro.tuning.tuner`
+evaluates them with the roofline model and returns the best.
+"""
+
+from repro.tuning.search_space import candidate_tile_configs
+from repro.tuning.tuner import Tuner, TuningRecord, TuningResult
+
+__all__ = [
+    "candidate_tile_configs",
+    "Tuner",
+    "TuningRecord",
+    "TuningResult",
+]

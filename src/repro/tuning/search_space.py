@@ -1,0 +1,67 @@
+"""Tile-configuration search space.
+
+Candidates are constrained the same way the paper's Section 4 describes the
+hand analysis: the number of resident lookup tables is bounded by the vector
+register file (tables plus indices plus accumulators must not spill), the
+reduction tile is a multiple of the LUT group size, and the output tile is a
+multiple of the SIMD lane count so lookups stay full-width.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tiling import TileConfig, tmac_register_footprint
+from repro.simd.isa import InstructionSet
+
+__all__ = ["candidate_tile_configs"]
+
+
+def candidate_tile_configs(
+    isa: InstructionSet,
+    bits: int,
+    g: int = 4,
+    n: int = 1,
+    table_quantization: bool = True,
+    mirror_consolidation: bool = True,
+    max_candidates: int = 64,
+) -> List[TileConfig]:
+    """Enumerate tile configurations that fit the ISA's register file.
+
+    Parameters
+    ----------
+    isa:
+        Target instruction set (register count and lane width).
+    bits / g:
+        Kernel parameters (affect the footprint of a tile).
+    n:
+        Activation rows (1 for GEMV decode).
+    table_quantization / mirror_consolidation:
+        Table-storage options, which change how many tables fit on chip.
+    max_candidates:
+        Cap on the number of returned configurations.
+    """
+    lanes = isa.lanes_int8
+    register_bytes = isa.num_registers * (isa.width_bits // 8)
+
+    candidates: List[TileConfig] = []
+    for num_luts in (1, 2, 4, 8, 16):
+        k_tk = num_luts * g
+        for m_tm in (lanes, 2 * lanes, 4 * lanes, 8 * lanes):
+            footprint = tmac_register_footprint(
+                m_tm=m_tm,
+                k_tk=k_tk,
+                g=g,
+                table_quantization=table_quantization,
+                mirror_consolidation=mirror_consolidation,
+                lanes=lanes,
+            )
+            if footprint.total_bytes > register_bytes:
+                continue
+            for n_tn in {1, min(n, 8)}:
+                candidates.append(TileConfig(
+                    n_tn=n_tn, m_tm=m_tm, k_tk=k_tk, num_onchip_luts=num_luts
+                ))
+            if len(candidates) >= max_candidates:
+                return candidates[:max_candidates]
+    return candidates

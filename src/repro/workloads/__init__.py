@@ -1,0 +1,26 @@
+"""Workload definitions: the kernel shapes and synthetic data generators used
+throughout the paper's evaluation."""
+
+from repro.workloads.generator import (
+    gaussian_activation,
+    gaussian_weights,
+    make_gemv_case,
+)
+from repro.workloads.shapes import (
+    GEMM_SEQUENCE_LENGTH,
+    KERNEL_SHAPES,
+    MatmulShape,
+    kernel_shape,
+    shapes_for_model,
+)
+
+__all__ = [
+    "MatmulShape",
+    "KERNEL_SHAPES",
+    "GEMM_SEQUENCE_LENGTH",
+    "kernel_shape",
+    "shapes_for_model",
+    "gaussian_weights",
+    "gaussian_activation",
+    "make_gemv_case",
+]

@@ -1,0 +1,77 @@
+"""Synthetic matrix generators for kernel benchmarks and error analysis.
+
+Section 5.6 of the paper generates Gaussian fp16 weights and activations for
+the kernel-level NMSE analysis; the same generators are used here for every
+numerical kernel benchmark (the performance benchmarks work from shapes
+alone and never materialize the paper-scale matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.uniform import QuantizedWeight, quantize_weights
+
+__all__ = ["gaussian_weights", "gaussian_activation", "GEMVCase", "make_gemv_case"]
+
+
+def gaussian_weights(
+    m: int, k: int, seed: int = 0, scale: float = 1.0, dtype=np.float32
+) -> np.ndarray:
+    """Gaussian ``[M, K]`` weight matrix (as in the paper's error analysis)."""
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((m, k)) * scale).astype(dtype)
+
+
+def gaussian_activation(
+    n: int, k: int, seed: int = 1, scale: float = 1.0, dtype=np.float32
+) -> np.ndarray:
+    """Gaussian ``[N, K]`` activation matrix."""
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((n, k)) * scale).astype(dtype)
+
+
+@dataclass
+class GEMVCase:
+    """A complete numerical test case: activations, fp weights and quantized weights."""
+
+    activation: np.ndarray
+    weights: np.ndarray
+    qweight: QuantizedWeight
+    bits: int
+    group_size: int
+
+    @property
+    def reference(self) -> np.ndarray:
+        """Unquantized fp ground truth ``A @ W^T``."""
+        return (self.activation.astype(np.float64)
+                @ self.weights.astype(np.float64).T).astype(np.float32)
+
+
+def make_gemv_case(
+    m: int,
+    k: int,
+    n: int = 1,
+    bits: int = 4,
+    group_size: int = 128,
+    seed: int = 0,
+) -> GEMVCase:
+    """Build a Gaussian GEMV/GEMM case with quantized weights.
+
+    The group size is shrunk (by halving) if it does not divide ``K`` so
+    that arbitrary shapes can be exercised.
+    """
+    while group_size > 4 and k % group_size != 0:
+        group_size //= 2
+    weights = gaussian_weights(m, k, seed=seed)
+    activation = gaussian_activation(n, k, seed=seed + 1)
+    qweight = quantize_weights(weights, bits=bits, group_size=group_size)
+    return GEMVCase(
+        activation=activation,
+        weights=weights,
+        qweight=qweight,
+        bits=bits,
+        group_size=group_size,
+    )

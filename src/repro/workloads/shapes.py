@@ -1,0 +1,80 @@
+"""Kernel benchmark shapes (Figures 6, 7, 10, 11 and Table 3).
+
+The paper benchmarks its kernels on the weight-matrix shapes of Llama-2-7B
+and Llama-2-13B.  Six shapes appear in Figures 6/7 (labelled S0-S5 in the
+ablation figure); the GPU comparison of Figure 11 and the NMSE analysis of
+Table 3 use the first three (7B) shapes.
+
+Shapes are given as ``M x K x N``: ``M`` output features, ``K`` reduction
+dimension, ``N`` activation rows (1 for GEMV, 256 for the mpGEMM benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "MatmulShape",
+    "KERNEL_SHAPES",
+    "GEMM_SEQUENCE_LENGTH",
+    "kernel_shape",
+    "shapes_for_model",
+]
+
+#: Sequence length used by the mpGEMM (prefill) benchmark of Figure 7.
+GEMM_SEQUENCE_LENGTH = 256
+
+
+@dataclass(frozen=True)
+class MatmulShape:
+    """One benchmark matmul shape ``[N, K] x [M, K]^T``."""
+
+    label: str
+    m: int
+    k: int
+    n: int = 1
+    source_model: str = ""
+
+    @property
+    def weights(self) -> int:
+        """Number of weight elements (M*K)."""
+        return self.m * self.k
+
+    def with_n(self, n: int) -> "MatmulShape":
+        """The same weight shape with a different activation row count."""
+        return MatmulShape(label=self.label, m=self.m, k=self.k, n=n,
+                           source_model=self.source_model)
+
+    def __str__(self) -> str:
+        return f"{self.m}x{self.k}x{self.n}"
+
+
+#: The six kernel shapes of Figures 6/7/10 (S0-S5).  The first three come
+#: from Llama-2-7B (hidden 4096, intermediate 11008), the last three from
+#: Llama-2-13B (hidden 5120, intermediate 13824).
+KERNEL_SHAPES: List[MatmulShape] = [
+    MatmulShape("S0", 4096, 4096, 1, "Llama-2-7B"),
+    MatmulShape("S1", 11008, 4096, 1, "Llama-2-7B"),
+    MatmulShape("S2", 4096, 11008, 1, "Llama-2-7B"),
+    MatmulShape("S3", 5120, 5120, 1, "Llama-2-13B"),
+    MatmulShape("S4", 13824, 5120, 1, "Llama-2-13B"),
+    MatmulShape("S5", 5120, 13824, 1, "Llama-2-13B"),
+]
+
+
+def kernel_shape(label: str) -> MatmulShape:
+    """Look up one of the S0-S5 benchmark shapes by label."""
+    for shape in KERNEL_SHAPES:
+        if shape.label == label.upper():
+            return shape
+    raise KeyError(f"unknown kernel shape {label!r}; expected S0..S5")
+
+
+def shapes_for_model(model_name: str) -> List[MatmulShape]:
+    """All benchmark shapes originating from one model family."""
+    matches = [s for s in KERNEL_SHAPES if s.source_model == model_name]
+    if not matches:
+        known = sorted({s.source_model for s in KERNEL_SHAPES})
+        raise KeyError(f"unknown model {model_name!r}; known: {known}")
+    return matches

@@ -1,0 +1,107 @@
+"""Unit tests for the BLAS, GPU and NPU baselines."""
+
+import pytest
+
+from repro.baselines.blas_gemm import blas_gemm_latency
+from repro.baselines.gpu import (
+    GPU_LOW_BIT_EFFICIENCY,
+    gpu_gemm_latency,
+    gpu_gemv_latency,
+    gpu_token_latency,
+)
+from repro.baselines.npu import npu_tokens_per_sec
+from repro.core.config import TMACConfig
+from repro.hardware import (
+    CostModel,
+    JETSON_AGX_ORIN,
+    M2_ULTRA,
+    ONEPLUS_12,
+    RASPBERRY_PI_5,
+    SURFACE_LAPTOP_7,
+)
+
+
+class TestBlasBaseline:
+    def test_scales_with_sequence_length(self):
+        short = blas_gemm_latency(M2_ULTRA, 16, 4096, 4096, 4)
+        long = blas_gemm_latency(M2_ULTRA, 256, 4096, 4096, 4)
+        assert long.seconds > short.seconds
+
+    def test_amx_makes_m2_blas_competitive_for_gemm(self):
+        """On M2-Ultra the BLAS path beats T-MAC for 4-bit mpGEMM (Fig. 7)."""
+        blas = blas_gemm_latency(M2_ULTRA, 256, 4096, 4096, 4)
+        tmac = CostModel(M2_ULTRA).tmac_gemm_latency(
+            256, 4096, 4096, TMACConfig(bits=4))
+        assert blas.seconds < tmac.seconds
+
+    def test_weak_devices_lose_to_tmac_at_low_bits(self):
+        """On Raspberry Pi T-MAC wins the 2-bit mpGEMM (Fig. 7)."""
+        blas = blas_gemm_latency(RASPBERRY_PI_5, 256, 4096, 4096, 2)
+        tmac = CostModel(RASPBERRY_PI_5).tmac_gemm_latency(
+            256, 4096, 4096, TMACConfig(bits=2))
+        assert tmac.seconds < blas.seconds
+
+    def test_dequantization_traffic_included(self):
+        """The BLAS path must pay for writing/reading the fp16 copy."""
+        lat = blas_gemm_latency(RASPBERRY_PI_5, 1, 4096, 4096, 4)
+        assert lat.memory_seconds > 0
+
+
+class TestGpuBaseline:
+    def test_requires_gpu(self):
+        with pytest.raises(ValueError):
+            gpu_gemv_latency(M2_ULTRA, 4096, 4096, 4)
+
+    def test_launch_overhead_dominates_small_kernels(self):
+        lat = gpu_gemv_latency(JETSON_AGX_ORIN, 128, 128, 4)
+        overhead = JETSON_AGX_ORIN.gpu.kernel_launch_overhead_us * 1e-6
+        assert lat.seconds >= overhead
+
+    def test_low_bits_do_not_speed_up_gpu(self):
+        """llama.cpp GPU kernels get no benefit below 4 bits (Fig. 11)."""
+        lat4 = gpu_gemv_latency(JETSON_AGX_ORIN, 4096, 11008, 4)
+        lat2 = gpu_gemv_latency(JETSON_AGX_ORIN, 4096, 11008, 2)
+        assert lat2.seconds > 0.8 * lat4.seconds
+
+    def test_efficiency_table_is_monotonic(self):
+        assert GPU_LOW_BIT_EFFICIENCY[4] >= GPU_LOW_BIT_EFFICIENCY[3] >= \
+            GPU_LOW_BIT_EFFICIENCY[2] >= GPU_LOW_BIT_EFFICIENCY[1]
+
+    def test_tmac_cpu_beats_gpu_at_1bit_on_orin(self):
+        """Figure 11: T-MAC (CPU) outperforms the GPU for W1 on all shapes."""
+        model = CostModel(JETSON_AGX_ORIN)
+        for m, k in ((4096, 4096), (11008, 4096), (4096, 11008)):
+            cpu = model.tmac_gemv_latency(m, k, TMACConfig(bits=1))
+            gpu = gpu_gemv_latency(JETSON_AGX_ORIN, m, k, 1)
+            assert cpu.seconds < gpu.seconds
+
+    def test_gpu_wins_large_4bit_gemm(self):
+        """The GPU's parallel throughput wins back at higher bits / GEMM."""
+        gpu = gpu_gemm_latency(JETSON_AGX_ORIN, 256, 11008, 4096, 4)
+        cpu = CostModel(JETSON_AGX_ORIN).tmac_gemm_latency(
+            256, 11008, 4096, TMACConfig(bits=4))
+        assert gpu.seconds < cpu.seconds
+
+    def test_token_latency_positive_and_bit_aware(self):
+        lat4 = gpu_token_latency(JETSON_AGX_ORIN, 3.8e9, 100, 1.3e10, bits=4)
+        lat2 = gpu_token_latency(JETSON_AGX_ORIN, 1.9e9, 100, 1.3e10, bits=2)
+        assert lat4 > 0 and lat2 > 0
+
+
+class TestNpuBaseline:
+    def test_published_4bit_numbers(self):
+        assert npu_tokens_per_sec(SURFACE_LAPTOP_7, "Llama-2-7B-4bit") == \
+            pytest.approx(10.40)
+        assert npu_tokens_per_sec(ONEPLUS_12, "Llama-2-7B-4bit") == \
+            pytest.approx(11.30)
+
+    def test_2bit_deduced_from_4bit(self):
+        """The paper marks NPU 2-bit entries with '*': same as 4-bit."""
+        assert npu_tokens_per_sec(SURFACE_LAPTOP_7, "Llama-2-7B-2bit",
+                                  bits=2) == pytest.approx(10.40)
+
+    def test_no_npu_returns_none(self):
+        assert npu_tokens_per_sec(JETSON_AGX_ORIN, "Llama-2-7B-4bit") is None
+
+    def test_unknown_model_returns_none(self):
+        assert npu_tokens_per_sec(SURFACE_LAPTOP_7, "Mistral-7B-4bit") is None

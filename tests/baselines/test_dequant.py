@@ -1,0 +1,81 @@
+"""Unit tests for the llama.cpp-style dequantization kernel."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dequant_gemm import DequantGEMM, dequant_gemm, dequant_gemv
+from repro.baselines.reference import quantized_reference_gemm
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+class TestDequantGEMM:
+    def test_close_to_dequantized_reference(self, small_qweight,
+                                            small_activation):
+        out = DequantGEMM(small_qweight).matmul(small_activation)
+        ref = quantized_reference_gemm(small_activation, small_qweight)
+        nmse = np.mean((out - ref) ** 2) / np.mean(ref ** 2)
+        # Only the int8 activation quantization separates the two.
+        assert nmse < 5e-4
+
+    def test_without_activation_quantization_is_exact(self, small_qweight,
+                                                       small_activation):
+        kernel = DequantGEMM(small_qweight, quantize_activations=False)
+        out = kernel.matmul(small_activation)
+        ref = quantized_reference_gemm(small_activation, small_qweight)
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_all_bit_widths(self, bits):
+        w = gaussian_weights(24, 128, seed=bits)
+        a = gaussian_activation(2, 128, seed=bits + 1)
+        qw = quantize_weights(w, bits=bits, group_size=32)
+        out = DequantGEMM(qw).matmul(a)
+        ref = quantized_reference_gemm(a, qw)
+        nmse = np.mean((out - ref) ** 2) / (np.mean(ref ** 2) + 1e-12)
+        assert nmse < 1e-3
+
+    def test_1d_round_trip(self, small_qweight):
+        a = gaussian_activation(1, 256, seed=5)[0]
+        out = DequantGEMM(small_qweight).matmul(a)
+        assert out.shape == (48,)
+
+    def test_wrong_k_rejected(self, small_qweight):
+        with pytest.raises(ValueError):
+            DequantGEMM(small_qweight).matmul(np.zeros((1, 128)))
+
+    def test_block_size_must_nest(self, small_qweight):
+        with pytest.raises(ValueError):
+            DequantGEMM(small_qweight, act_block_size=48)
+
+    def test_shape_properties(self, small_qweight):
+        kernel = DequantGEMM(small_qweight)
+        assert kernel.out_features == 48
+        assert kernel.in_features == 256
+
+
+class TestFunctionalAPI:
+    def test_dequant_gemm_from_raw_weights(self):
+        w = gaussian_weights(16, 64, seed=0)
+        a = gaussian_activation(2, 64, seed=1)
+        out = dequant_gemm(a, w, bits=4, group_size=32)
+        assert out.shape == (2, 16)
+
+    def test_dequant_gemv_rejects_multirow(self):
+        w = gaussian_weights(16, 64, seed=2)
+        a = gaussian_activation(3, 64, seed=3)
+        with pytest.raises(ValueError):
+            dequant_gemv(a, w)
+
+    def test_tmac_and_dequant_agree_on_same_weights(self):
+        """The two kernels consume identical QuantizedWeight objects and
+        produce nearly identical results (Table 3's llama.cpp vs T-MAC)."""
+        from repro.core.gemm import tmac_gemm
+
+        w = gaussian_weights(32, 128, seed=4)
+        a = gaussian_activation(1, 128, seed=5)
+        qw = quantize_weights(w, bits=4, group_size=32)
+        out_dequant = dequant_gemm(a, qw)
+        out_tmac = tmac_gemm(a, qw)
+        diff = np.mean((out_dequant - out_tmac) ** 2) / np.mean(out_tmac ** 2)
+        assert diff < 1e-3

@@ -1,0 +1,51 @@
+"""Unit tests for the reference GEMM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import (
+    quantized_reference_gemm,
+    reference_gemm,
+    reference_gemv,
+)
+from repro.quant.uniform import dequantize_weights, quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+class TestReferenceGemm:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((3, 32)).astype(np.float32)
+        w = rng.standard_normal((8, 32)).astype(np.float32)
+        np.testing.assert_allclose(reference_gemm(a, w), a @ w.T, rtol=1e-5)
+
+    def test_gemv_handles_1d(self, rng):
+        a = rng.standard_normal(32).astype(np.float32)
+        w = rng.standard_normal((8, 32)).astype(np.float32)
+        out = reference_gemv(a, w)
+        assert out.shape == (8,)
+        np.testing.assert_allclose(out, w @ a, rtol=1e-5)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            reference_gemm(np.zeros((2, 16)), np.zeros((4, 32)))
+
+
+class TestQuantizedReference:
+    def test_equals_dequantize_then_matmul(self):
+        w = gaussian_weights(16, 64, seed=0)
+        a = gaussian_activation(2, 64, seed=1)
+        qw = quantize_weights(w, bits=4, group_size=32)
+        expected = a @ dequantize_weights(qw).T
+        np.testing.assert_allclose(quantized_reference_gemm(a, qw), expected,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_error_vs_fp_shrinks_with_bits(self):
+        w = gaussian_weights(32, 256, seed=2)
+        a = gaussian_activation(2, 256, seed=3)
+        fp = reference_gemm(a, w)
+        errors = []
+        for bits in (1, 2, 4):
+            qw = quantize_weights(w, bits=bits, group_size=64)
+            out = quantized_reference_gemm(a, qw)
+            errors.append(float(np.mean((out - fp) ** 2)))
+        assert errors[0] > errors[1] > errors[2]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_weights():
+    """A small fp weight matrix [48, 256] for kernel tests."""
+    return gaussian_weights(48, 256, seed=7)
+
+
+@pytest.fixture
+def small_activation():
+    """A small activation matrix [3, 256] matching ``small_weights``."""
+    return gaussian_activation(3, 256, seed=8)
+
+
+@pytest.fixture
+def small_qweight(small_weights):
+    """4-bit quantized version of ``small_weights`` (group size 64)."""
+    return quantize_weights(small_weights, bits=4, group_size=64)

@@ -1,0 +1,97 @@
+"""Unit tests for exact and fast (rhadd) aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    exact_aggregate,
+    fast_aggregate,
+    fast_aggregation_bias,
+    rhadd,
+)
+
+
+class TestRhadd:
+    def test_matches_hardware_semantics(self):
+        a = np.array([1, 2, -3, 127], dtype=np.int64)
+        b = np.array([2, 2, -4, 127], dtype=np.int64)
+        np.testing.assert_array_equal(rhadd(a, b), [2, 2, -3, 127])
+
+    def test_rounds_toward_positive_infinity(self):
+        assert rhadd(np.array([1]), np.array([2]))[0] == 2
+        assert rhadd(np.array([-1]), np.array([-2]))[0] == -1
+
+    def test_no_overflow_at_int8_extremes(self):
+        a = np.array([127], dtype=np.int8)
+        b = np.array([127], dtype=np.int8)
+        assert rhadd(a, b)[0] == 127
+
+
+class TestBias:
+    def test_zero_for_single_element(self):
+        assert fast_aggregation_bias(1) == 0.0
+
+    def test_quarter_per_level(self):
+        assert fast_aggregation_bias(2) == pytest.approx(0.25)
+        assert fast_aggregation_bias(4) == pytest.approx(0.5)
+        assert fast_aggregation_bias(16) == pytest.approx(1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fast_aggregation_bias(0)
+
+
+class TestExactAggregate:
+    def test_simple_sum(self, rng):
+        values = rng.integers(-100, 100, size=(4, 5, 8))
+        np.testing.assert_array_equal(exact_aggregate(values, axis=-1),
+                                      values.sum(axis=-1))
+
+    def test_axis_selection(self, rng):
+        values = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(exact_aggregate(values, axis=0),
+                                   values.sum(axis=0))
+
+
+class TestFastAggregate:
+    def test_unbiased_on_average(self, rng):
+        """The bias-corrected estimate should be centred on the true sum."""
+        values = rng.integers(-100, 100, size=(2000, 16))
+        estimate = fast_aggregate(values, axis=-1)
+        true = values.sum(axis=-1)
+        mean_error = float(np.mean(estimate - true))
+        assert abs(mean_error) < 2.0
+
+    def test_error_is_bounded(self, rng):
+        values = rng.integers(-100, 100, size=(500, 16))
+        estimate = fast_aggregate(values, axis=-1)
+        true = values.sum(axis=-1)
+        # Relative RMS error of the rhadd tree stays in the few-percent range
+        # relative to the value magnitude sum.
+        rms = np.sqrt(np.mean((estimate - true) ** 2))
+        assert rms < 0.1 * np.sqrt(np.mean(true.astype(np.float64) ** 2)) + 20
+
+    def test_lossier_than_exact(self, rng):
+        values = rng.integers(-100, 100, size=(200, 16))
+        exact = exact_aggregate(values, axis=-1)
+        fast = fast_aggregate(values, axis=-1)
+        assert np.mean((fast - exact) ** 2) > 0
+
+    def test_single_element(self):
+        values = np.array([[7], [9]])
+        np.testing.assert_allclose(fast_aggregate(values, axis=-1), [7, 9])
+
+    def test_non_power_of_two_length(self, rng):
+        values = rng.integers(-50, 50, size=(300, 12))
+        estimate = fast_aggregate(values, axis=-1)
+        true = values.sum(axis=-1)
+        assert abs(float(np.mean(estimate - true))) < 4.0
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            fast_aggregate(np.zeros((2, 0)), axis=-1)
+
+    def test_rounds_float_input(self):
+        values = np.array([[1.4, 2.6, 3.0, 4.0]])
+        estimate = fast_aggregate(values, axis=-1)
+        assert estimate.shape == (1,)

@@ -1,0 +1,95 @@
+"""Unit tests for the bit-serial decomposition (Eq. 1 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitserial import (
+    BitSerialTransform,
+    aggregate_bit_results,
+    compose_bits,
+    decompose_bits,
+    transform_bit_plane,
+)
+
+
+class TestDecomposeCompose:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 8])
+    def test_round_trip(self, bits, rng):
+        codes = rng.integers(0, 1 << bits, size=(16, 64)).astype(np.uint8)
+        planes = decompose_bits(codes, bits)
+        assert len(planes) == bits
+        assert all(set(np.unique(p)).issubset({0, 1}) for p in planes)
+        np.testing.assert_array_equal(compose_bits(planes), codes)
+
+    def test_weighted_sum_equals_codes(self, rng):
+        codes = rng.integers(0, 16, size=(8, 32)).astype(np.uint8)
+        planes = decompose_bits(codes, 4)
+        recombined = sum((1 << i) * p.astype(np.int64)
+                         for i, p in enumerate(planes))
+        np.testing.assert_array_equal(recombined, codes)
+
+    def test_rejects_overflow_codes(self):
+        with pytest.raises(ValueError):
+            decompose_bits(np.array([[4]], dtype=np.uint8), bits=2)
+
+    def test_rejects_float_input(self):
+        with pytest.raises(TypeError):
+            decompose_bits(np.zeros((2, 2), dtype=np.float32), bits=2)
+
+    def test_compose_requires_planes(self):
+        with pytest.raises(ValueError):
+            compose_bits([])
+
+
+class TestBitSerialTransform:
+    def test_default_maps_to_plus_minus_one(self):
+        t = BitSerialTransform()
+        plane = np.array([[0, 1, 1, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(transform_bit_plane(plane, t),
+                                      [[-1.0, 1.0, 1.0, -1.0]])
+
+    def test_alpha_beta_invert_the_map(self):
+        t = BitSerialTransform(s0=-1.0, s1=1.0)
+        assert t.alpha == pytest.approx(0.5)
+        assert t.beta == pytest.approx(0.5)
+        plane = np.array([0.0, 1.0, 1.0, 0.0])
+        transformed = t.apply(plane)
+        np.testing.assert_allclose(t.invert(transformed), plane)
+
+    def test_custom_endpoints(self):
+        t = BitSerialTransform(s0=0.0, s1=2.0)
+        np.testing.assert_allclose(t.invert(t.apply(np.array([0, 1, 1]))),
+                                   [0, 1, 1])
+
+    def test_rejects_degenerate_transform(self):
+        with pytest.raises(ValueError):
+            BitSerialTransform(s0=1.0, s1=1.0)
+
+
+class TestAggregateBitResults:
+    def test_recovers_integer_code_gemm(self, rng):
+        """sum_i 2^i (alpha R_i + beta S) == A @ codes^T."""
+        bits = 3
+        a = rng.standard_normal((2, 24)).astype(np.float64)
+        codes = rng.integers(0, 1 << bits, size=(5, 24)).astype(np.uint8)
+        planes = decompose_bits(codes, bits)
+        transform = BitSerialTransform()
+        partials = [a @ transform.apply(p).astype(np.float64).T for p in planes]
+        row_sums = a.sum(axis=1)
+        result = aggregate_bit_results(partials, row_sums, transform)
+        expected = a @ codes.astype(np.float64).T
+        np.testing.assert_allclose(result, expected, atol=1e-9)
+
+    def test_single_bit(self, rng):
+        a = rng.standard_normal((1, 8))
+        codes = rng.integers(0, 2, size=(3, 8)).astype(np.uint8)
+        plane = decompose_bits(codes, 1)[0]
+        t = BitSerialTransform()
+        partial = a @ t.apply(plane).astype(np.float64).T
+        out = aggregate_bit_results([partial], a.sum(axis=1), t)
+        np.testing.assert_allclose(out, a @ codes.astype(np.float64).T,
+                                   atol=1e-9)
+
+    def test_requires_partials(self):
+        with pytest.raises(ValueError):
+            aggregate_bit_results([], np.zeros(1))

@@ -1,0 +1,71 @@
+"""Unit tests for the kernel configuration and ablation stages."""
+
+import pytest
+
+from repro.core.config import ABLATION_STAGE_NAMES, TMACConfig, ablation_stages
+
+
+class TestTMACConfig:
+    def test_defaults_are_full_tmac(self):
+        config = TMACConfig()
+        assert config.bits == 4
+        assert config.g == 4
+        assert config.mirror_consolidation
+        assert config.table_quantization
+        assert not config.fast_aggregation
+        assert config.tiling and config.permute_weights
+        assert config.interleave_weights
+
+    def test_table_length_reflects_mirror_consolidation(self):
+        assert TMACConfig(mirror_consolidation=True).table_length == 8
+        assert TMACConfig(mirror_consolidation=False).table_length == 16
+
+    def test_table_entry_bytes(self):
+        assert TMACConfig(table_quantization=True).table_entry_bytes == 1
+        assert TMACConfig(table_quantization=False,
+                          act_dtype="float16").table_entry_bytes == 2
+        assert TMACConfig(table_quantization=False,
+                          act_dtype="float32").table_entry_bytes == 4
+
+    def test_with_options_returns_new_config(self):
+        base = TMACConfig(bits=4)
+        other = base.with_options(bits=2, name="low-bit")
+        assert base.bits == 4
+        assert other.bits == 2
+        assert other.name == "low-bit"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"bits": 0},
+        {"bits": 9},
+        {"g": 0},
+        {"act_dtype": "float64"},
+        {"lut_scale_granularity": "weird"},
+        {"s0": 1.0, "s1": 1.0},
+        {"fast_aggregation": True, "table_quantization": False},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TMACConfig(**kwargs)
+
+
+class TestAblationStages:
+    def test_stage_names_match_paper_figure10(self):
+        stages = ablation_stages()
+        assert tuple(s.name for s in stages) == ABLATION_STAGE_NAMES
+
+    def test_stages_are_cumulative(self):
+        stages = {s.name: s for s in ablation_stages()}
+        assert not stages["TM-base"].table_quantization
+        assert stages["+TQ"].table_quantization
+        assert not stages["+TQ"].tiling
+        assert stages["+Tiling"].tiling
+        assert not stages["+Tiling"].permute_weights
+        assert stages["+Perm."].permute_weights
+        assert stages["+Tuning"].tuned
+        assert stages["T-MAC"].interleave_weights
+        assert not stages["T-MAC"].fast_aggregation
+        assert stages["TM+FA"].fast_aggregation
+
+    def test_stages_respect_requested_bits(self):
+        stages = ablation_stages(bits=2)
+        assert all(s.bits == 2 for s in stages)

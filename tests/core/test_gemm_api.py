@@ -1,0 +1,61 @@
+"""Unit tests for the high-level tmac_gemm / tmac_gemv API."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import reference_gemm
+from repro.core.config import TMACConfig
+from repro.core.gemm import tmac_gemm, tmac_gemv
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+class TestTmacGemm:
+    def test_accepts_raw_fp_weights(self):
+        w = gaussian_weights(32, 128, seed=0)
+        a = gaussian_activation(4, 128, seed=1)
+        out = tmac_gemm(a, w, bits=4, group_size=64)
+        ref = reference_gemm(a, w)
+        nmse = np.mean((out - ref) ** 2) / np.mean(ref ** 2)
+        assert out.shape == (4, 32)
+        assert nmse < 0.02  # dominated by 4-bit weight quantization error
+
+    def test_accepts_prequantized_weights(self):
+        w = gaussian_weights(16, 64, seed=2)
+        qw = quantize_weights(w, bits=2, group_size=32)
+        a = gaussian_activation(2, 64, seed=3)
+        out = tmac_gemm(a, qw)
+        assert out.shape == (2, 16)
+
+    def test_explicit_config_controls_bits(self):
+        w = gaussian_weights(16, 64, seed=4)
+        a = gaussian_activation(1, 64, seed=5)
+        out = tmac_gemm(a, w, bits=2, group_size=32,
+                        config=TMACConfig(bits=2, fast_aggregation=True))
+        assert out.shape == (1, 16)
+
+
+class TestTmacGemv:
+    def test_1d_round_trip(self):
+        w = gaussian_weights(24, 64, seed=6)
+        a = gaussian_activation(1, 64, seed=7)[0]
+        out = tmac_gemv(a, w, bits=4, group_size=32)
+        assert out.shape == (24,)
+
+    def test_2d_single_row(self):
+        w = gaussian_weights(24, 64, seed=8)
+        a = gaussian_activation(1, 64, seed=9)
+        out = tmac_gemv(a, w, bits=4, group_size=32)
+        assert out.shape == (1, 24)
+
+    def test_rejects_multi_row(self):
+        w = gaussian_weights(24, 64, seed=10)
+        a = gaussian_activation(2, 64, seed=11)
+        with pytest.raises(ValueError):
+            tmac_gemv(a, w)
+
+    def test_gemv_matches_gemm_row(self):
+        w = gaussian_weights(16, 64, seed=12)
+        a = gaussian_activation(1, 64, seed=13)
+        np.testing.assert_allclose(tmac_gemv(a, w, group_size=32),
+                                   tmac_gemm(a, w, group_size=32))

@@ -1,0 +1,95 @@
+"""Unit tests for the LUT-centric data layout math."""
+
+import pytest
+
+from repro.core.tiling import (
+    TileConfig,
+    axis_order,
+    default_tile_config,
+    dequant_register_footprint,
+    lut_working_set_bytes,
+    tmac_register_footprint,
+)
+
+
+class TestTileConfig:
+    def test_tiles_for_uses_ceiling_division(self):
+        tile = TileConfig(n_tn=1, m_tm=32, k_tk=32)
+        assert tile.tiles_for(1, 100, 64) == (1, 4, 2)
+
+    def test_dram_bytes_per_tile(self):
+        tile = TileConfig(n_tn=1, m_tm=32, k_tk=32)
+        # activations: 1*32*2 bytes, weights: 32*32*4/8 bytes
+        assert tile.dram_bytes_per_tile(bits=4) == 64 + 512
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TileConfig(m_tm=0)
+
+
+class TestRegisterFootprint:
+    def test_figure3_tmac_value(self):
+        """The Figure 3 example uses 144 8-bit registers for T-MAC."""
+        footprint = tmac_register_footprint(m_tm=32, k_tk=4, g=4,
+                                            table_quantization=False,
+                                            mirror_consolidation=False)
+        assert footprint.total_bytes == 144
+
+    def test_figure3_llamacpp_value(self):
+        """The Figure 3 example uses 104 8-bit registers for llama.cpp."""
+        footprint = dequant_register_footprint(k_tk=32, bits=4)
+        assert footprint.total_bytes == 104
+
+    def test_tmac_uses_more_registers_than_dequant(self):
+        """LUT-based mpGEMM needs more on-chip memory (paper Section 3.1)."""
+        tmac = tmac_register_footprint(m_tm=32, k_tk=4, g=4)
+        dequant = dequant_register_footprint(k_tk=32, bits=4)
+        assert tmac.total_bytes > dequant.total_bytes
+
+    def test_table_quantization_shrinks_footprint(self):
+        fp16 = tmac_register_footprint(table_quantization=False)
+        int8 = tmac_register_footprint(table_quantization=True)
+        assert int8.total_bytes < fp16.total_bytes
+        assert int8.lut == fp16.lut // 2
+
+    def test_mirror_consolidation_halves_lut(self):
+        full = tmac_register_footprint(mirror_consolidation=False)
+        half = tmac_register_footprint(mirror_consolidation=True)
+        assert half.lut == full.lut // 2
+
+    def test_k_tk_must_be_multiple_of_g(self):
+        with pytest.raises(ValueError):
+            tmac_register_footprint(m_tm=16, k_tk=6, g=4)
+
+
+class TestAxisOrderAndWorkingSet:
+    def test_lut_centric_order_is_temporal_first(self):
+        assert axis_order(lut_centric=True)[0] == "K"
+        assert axis_order(lut_centric=False)[0] == "N"
+
+    def test_axis_reordering_shrinks_working_set(self):
+        """K-first traversal only needs tables for a K-tile, not all of K."""
+        full = lut_working_set_bytes(1, 4096, 4, 1, False)
+        tiled = lut_working_set_bytes(1, 4096, 4, 1, False, k_tile=32)
+        assert tiled < full
+        assert tiled == full // (4096 // 32)
+
+    def test_mirror_consolidation_halves_working_set(self):
+        full = lut_working_set_bytes(1, 1024, 4, 2, False)
+        half = lut_working_set_bytes(1, 1024, 4, 2, True)
+        assert half == full // 2
+
+
+class TestDefaultTileConfig:
+    def test_reduction_tile_is_multiple_of_g(self):
+        tile = default_tile_config(bits=4, g=4, simd_width_bits=128,
+                                   vector_registers=32)
+        assert tile.k_tk % 4 == 0
+        assert tile.num_onchip_luts >= 1
+
+    def test_wider_simd_gets_wider_output_tile(self):
+        neon = default_tile_config(bits=4, simd_width_bits=128,
+                                   vector_registers=32)
+        avx2 = default_tile_config(bits=4, simd_width_bits=256,
+                                   vector_registers=16)
+        assert avx2.m_tm > neon.m_tm

@@ -1,0 +1,94 @@
+"""Unit tests for the power/energy model."""
+
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.energy import PowerModel
+from repro.hardware import JETSON_AGX_ORIN, M2_ULTRA, RASPBERRY_PI_5
+from repro.llm import LLAMA_2_7B, estimate_token_throughput
+
+
+class TestCpuEnergy:
+    def test_energy_equals_power_times_latency(self):
+        model = PowerModel(M2_ULTRA)
+        report = model.cpu_token_energy(0.02, 1e9, 3.5, threads=8)
+        assert report.joules_per_token == pytest.approx(
+            report.watts * report.seconds_per_token)
+
+    def test_components_sum(self):
+        model = PowerModel(M2_ULTRA)
+        report = model.cpu_token_energy(0.02, 1e9, 3.5, threads=8)
+        assert report.joules_per_token == pytest.approx(
+            report.static_joules + report.compute_joules + report.memory_joules)
+
+    def test_fewer_instructions_means_less_energy(self):
+        model = PowerModel(M2_ULTRA)
+        heavy = model.cpu_token_energy(0.02, 4e9, 3.5, threads=8)
+        light = model.cpu_token_energy(0.02, 1e9, 3.5, threads=8)
+        assert light.joules_per_token < heavy.joules_per_token
+        assert light.watts < heavy.watts
+
+    def test_invalid_inputs_rejected(self):
+        model = PowerModel(M2_ULTRA)
+        with pytest.raises(ValueError):
+            model.cpu_token_energy(0.0, 1e9, 1.0, threads=1)
+        with pytest.raises(ValueError):
+            model.cpu_token_energy(0.1, -1, 1.0, threads=1)
+
+
+class TestGpuEnergy:
+    def test_gpu_power_above_idle(self):
+        model = PowerModel(JETSON_AGX_ORIN)
+        report = model.gpu_token_energy(0.05)
+        assert report.watts > JETSON_AGX_ORIN.cpu.idle_power_w
+
+    def test_requires_gpu(self):
+        with pytest.raises(ValueError):
+            PowerModel(RASPBERRY_PI_5).gpu_token_energy(0.1)
+
+
+class TestPaperEnergyClaims:
+    """Figure 9 / Table 5 structure: T-MAC uses less power and much less
+    energy per token than llama.cpp on the same device and model."""
+
+    @pytest.mark.parametrize("device", [M2_ULTRA, JETSON_AGX_ORIN])
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_tmac_reduces_power_and_energy(self, device, bits):
+        power_model = PowerModel(device)
+        reports = {}
+        for engine in ("llama.cpp", "tmac"):
+            est = estimate_token_throughput(device, LLAMA_2_7B, bits, engine)
+            reports[engine] = power_model.cpu_token_energy(
+                est.seconds_per_token, est.instructions_per_token,
+                est.dram_gb_per_token, est.threads)
+        assert reports["tmac"].watts < reports["llama.cpp"].watts
+        assert reports["tmac"].joules_per_token < \
+            reports["llama.cpp"].joules_per_token
+
+    def test_energy_reduction_in_paper_range(self):
+        """Energy per token drops by roughly 20-70% (Fig. 9)."""
+        power_model = PowerModel(M2_ULTRA)
+        est_l = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 2, "llama.cpp")
+        est_t = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 2, "tmac")
+        joules_l = power_model.cpu_token_energy(
+            est_l.seconds_per_token, est_l.instructions_per_token,
+            est_l.dram_gb_per_token, est_l.threads).joules_per_token
+        joules_t = power_model.cpu_token_energy(
+            est_t.seconds_per_token, est_t.instructions_per_token,
+            est_t.dram_gb_per_token, est_t.threads).joules_per_token
+        reduction = 1 - joules_t / joules_l
+        assert 0.2 < reduction < 0.8
+
+    def test_orin_tmac_cpu_more_efficient_than_gpu(self):
+        """Table 5: T-MAC CPU beats the GPU backend on energy per token."""
+        power_model = PowerModel(JETSON_AGX_ORIN)
+        est_t = estimate_token_throughput(JETSON_AGX_ORIN, LLAMA_2_7B, 2,
+                                          "tmac")
+        cpu_energy = power_model.cpu_token_energy(
+            est_t.seconds_per_token, est_t.instructions_per_token,
+            est_t.dram_gb_per_token, est_t.threads).joules_per_token
+        est_g = estimate_token_throughput(JETSON_AGX_ORIN, LLAMA_2_7B, 2,
+                                          "gpu")
+        gpu_energy = power_model.gpu_token_energy(
+            est_g.seconds_per_token).joules_per_token
+        assert cpu_energy < gpu_energy

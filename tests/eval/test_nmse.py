@@ -1,0 +1,53 @@
+"""Unit tests for the kernel-level NMSE analysis (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.nmse import kernel_nmse_table, nmse
+from repro.workloads.shapes import MatmulShape
+
+
+class TestNmseMetric:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((4, 8))
+        assert nmse(x, x) == 0.0
+
+    def test_scales_with_error_power(self, rng):
+        ref = rng.standard_normal(1000)
+        assert nmse(ref, ref + 0.2) == pytest.approx(
+            4 * nmse(ref, ref + 0.1), rel=0.2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nmse(np.zeros(3), np.zeros(4))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            nmse(np.zeros(4), np.ones(4))
+
+
+class TestTable3Reproduction:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        shapes = [(512, 1024), MatmulShape("small", 256, 512)]
+        return kernel_nmse_table(shapes, bits=4, group_size=128, seed=0)
+
+    def test_llamacpp_and_tmac_are_equivalent(self, rows):
+        """Table quantization error is negligible: T-MAC's NMSE matches the
+        dequantization baseline's within a few percent."""
+        for row in rows:
+            assert row.tmac == pytest.approx(row.llama_cpp, rel=0.10)
+
+    def test_fast_aggregation_inflates_nmse(self, rows):
+        """Fast aggregation raises the NMSE by roughly 1.5-4x (paper: ~2.5x)."""
+        for row in rows:
+            assert 1.3 < row.fa_ratio < 6.0
+
+    def test_absolute_error_magnitude(self, rows):
+        """4-bit quantization error lands in the 1e-3..1e-2 NMSE decade."""
+        for row in rows:
+            assert 5e-4 < row.llama_cpp < 5e-2
+
+    def test_row_labels(self, rows):
+        assert rows[0].shape == "512x1024x1"
+        assert rows[1].shape == "256x512x1"

@@ -1,0 +1,57 @@
+"""Unit tests for the synthetic evaluation tasks."""
+
+import numpy as np
+import pytest
+
+from repro.eval.tasks import make_binary_choice_task, make_lm_task
+from repro.llm.architecture import tiny_arch
+from repro.llm.model import TransformerModel
+
+
+@pytest.fixture(scope="module")
+def teacher():
+    arch = tiny_arch(hidden_size=48, intermediate_size=96, num_layers=1,
+                     num_heads=4, vocab_size=53, max_seq_len=64)
+    return TransformerModel(arch, seed=21)
+
+
+class TestLmTask:
+    def test_sequence_count_and_length(self, teacher):
+        task = make_lm_task(teacher, num_sequences=4, seq_len=10)
+        assert len(task) == 4
+        for sequence in task.sequences:
+            assert sequence.size == 10
+            assert sequence.min() >= 0
+            assert sequence.max() < teacher.arch.vocab_size
+
+    def test_deterministic_given_seed(self, teacher):
+        a = make_lm_task(teacher, num_sequences=2, seq_len=8, seed=3)
+        b = make_lm_task(teacher, num_sequences=2, seq_len=8, seed=3)
+        for sa, sb in zip(a.sequences, b.sequences):
+            np.testing.assert_array_equal(sa, sb)
+
+    def test_different_seeds_differ(self, teacher):
+        a = make_lm_task(teacher, num_sequences=2, seq_len=8, seed=3)
+        b = make_lm_task(teacher, num_sequences=2, seq_len=8, seed=4)
+        assert any(not np.array_equal(sa, sb)
+                   for sa, sb in zip(a.sequences, b.sequences))
+
+
+class TestBinaryChoiceTask:
+    def test_item_shapes(self, teacher):
+        task = make_binary_choice_task(teacher, num_items=5, context_len=6,
+                                       continuation_len=3)
+        assert len(task) == 5
+        for ctx, good, bad in zip(task.contexts, task.correct,
+                                  task.distractor):
+            assert ctx.size == 6
+            assert good.size == 3
+            assert bad.size == 3
+
+    def test_correct_continuations_are_greedy(self, teacher):
+        """The 'correct' continuation is the teacher's greedy output, so the
+        teacher itself must score it at least as high as the distractor."""
+        from repro.eval.perplexity import binary_choice_accuracy
+
+        task = make_binary_choice_task(teacher, num_items=8)
+        assert binary_choice_accuracy(teacher, task) >= 0.9

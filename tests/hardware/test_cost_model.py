@@ -1,0 +1,130 @@
+"""Unit tests for the roofline cost model.
+
+These tests assert the *relationships* the paper's evaluation establishes
+(linear scaling with bits, memory- vs compute-bound regimes, multi-thread
+behaviour), not absolute latencies.
+"""
+
+import pytest
+
+from repro.core.config import TMACConfig, ablation_stages
+from repro.hardware import CostModel, M2_ULTRA, RASPBERRY_PI_5, SURFACE_BOOK_3
+from repro.simd.profile import profile_tmac_gemm
+
+
+class TestRooflineBasics:
+    def test_latency_is_max_of_compute_and_memory(self):
+        model = CostModel(M2_ULTRA)
+        lat = model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=4))
+        assert lat.seconds == pytest.approx(
+            max(lat.compute_seconds, lat.memory_seconds))
+        assert lat.bound in ("compute", "memory")
+
+    def test_thread_validation(self):
+        model = CostModel(RASPBERRY_PI_5)
+        with pytest.raises(ValueError):
+            model.tmac_gemv_latency(1024, 1024, TMACConfig(bits=4), threads=8)
+
+    def test_more_threads_never_slower(self):
+        model = CostModel(M2_ULTRA)
+        single = model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=2),
+                                         threads=1)
+        multi = model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=2),
+                                        threads=8)
+        assert multi.seconds <= single.seconds
+
+    def test_units_helpers(self):
+        model = CostModel(M2_ULTRA)
+        lat = model.tmac_gemv_latency(1024, 1024, TMACConfig(bits=4))
+        assert lat.milliseconds == pytest.approx(lat.seconds * 1e3)
+        assert lat.microseconds == pytest.approx(lat.seconds * 1e6)
+
+
+class TestPaperShapeClaims:
+    def test_tmac_scales_linearly_with_bits(self):
+        """T-MAC latency is ~proportional to the weight bit width (Fig. 6)."""
+        model = CostModel(M2_ULTRA)
+        lats = [model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=b),
+                                        threads=1).seconds
+                for b in (1, 2, 3, 4)]
+        assert lats[0] < lats[1] < lats[2] < lats[3]
+        ratio_4_to_1 = lats[3] / lats[0]
+        assert 2.5 < ratio_4_to_1 < 4.5
+
+    def test_dequant_flat_from_4_to_2_bits(self):
+        """llama.cpp does not speed up from 4-bit to 2-bit (Fig. 6)."""
+        model = CostModel(M2_ULTRA)
+        lat4 = model.dequant_gemv_latency(4096, 4096, 4, threads=1).seconds
+        lat2 = model.dequant_gemv_latency(4096, 4096, 2, threads=1).seconds
+        assert lat2 >= 0.9 * lat4
+
+    def test_dequant_3bit_slowdown(self):
+        """llama.cpp is ~15% slower at 3-bit than 4-bit (Sec. 5.2)."""
+        model = CostModel(M2_ULTRA)
+        lat4 = model.dequant_gemv_latency(4096, 4096, 4, threads=1).seconds
+        lat3 = model.dequant_gemv_latency(4096, 4096, 3, threads=1).seconds
+        assert 1.05 < lat3 / lat4 < 1.45
+
+    @pytest.mark.parametrize("device", [M2_ULTRA, RASPBERRY_PI_5,
+                                        SURFACE_BOOK_3])
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_tmac_beats_dequant_everywhere(self, device, bits):
+        """T-MAC is at least as fast as llama.cpp at every bit width on every
+        device (both can hit the same memory-bandwidth wall at 4 bits)."""
+        model = CostModel(device)
+        tmac = model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=bits))
+        dequant = model.dequant_gemv_latency(4096, 4096, bits)
+        assert tmac.seconds <= dequant.seconds * 1.005
+
+    def test_speedup_grows_as_bits_shrink(self):
+        model = CostModel(M2_ULTRA)
+        speedups = []
+        for bits in (4, 3, 2, 1):
+            tmac = model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=bits),
+                                           threads=1).seconds
+            dequant = model.dequant_gemv_latency(4096, 4096, bits,
+                                                 threads=1).seconds
+            speedups.append(dequant / tmac)
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 5.0  # 1-bit speedup approaches the paper's ~11x
+
+    def test_multithread_gemv_becomes_memory_bound(self):
+        """Multi-threaded mpGEMV is limited by memory bandwidth (Sec. 5.2)."""
+        model = CostModel(M2_ULTRA)
+        lat = model.tmac_gemv_latency(11008, 4096, TMACConfig(bits=2),
+                                      threads=8)
+        assert lat.bound == "memory"
+
+    def test_single_thread_dequant_is_compute_bound(self):
+        model = CostModel(M2_ULTRA)
+        lat = model.dequant_gemv_latency(4096, 4096, 4, threads=1)
+        assert lat.bound == "compute"
+
+
+class TestAblationOrdering:
+    def test_each_stage_is_no_slower_than_previous(self):
+        """Cumulative optimizations never hurt (Fig. 10 staircase)."""
+        model = CostModel(M2_ULTRA)
+        stages = ablation_stages(bits=4)
+        latencies = [model.tmac_gemv_latency(4096, 4096, cfg, threads=1).seconds
+                     for cfg in stages]
+        for before, after in zip(latencies, latencies[1:]):
+            assert after <= before * 1.001
+
+    def test_full_tmac_substantially_faster_than_base(self):
+        model = CostModel(M2_ULTRA)
+        stages = {s.name: s for s in ablation_stages(bits=4)}
+        base = model.tmac_gemv_latency(4096, 4096, stages["TM-base"],
+                                       threads=1).seconds
+        full = model.tmac_gemv_latency(4096, 4096, stages["T-MAC"],
+                                       threads=1).seconds
+        assert base / full > 1.5
+
+    def test_table_spill_penalty_applies_without_tiling(self):
+        profile_tiled = profile_tmac_gemm(1, 2048, 2048, TMACConfig(bits=4))
+        profile_spilled = profile_tmac_gemm(
+            1, 2048, 2048, TMACConfig(bits=4, tiling=False))
+        model = CostModel(M2_ULTRA)
+        tiled = model.compute_seconds(profile_tiled, threads=1)
+        spilled = model.compute_seconds(profile_spilled, threads=1)
+        assert spilled > tiled

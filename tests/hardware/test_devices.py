@@ -1,0 +1,112 @@
+"""Unit tests for the device catalogue (paper Tables 2 and 6)."""
+
+import pytest
+
+from repro.hardware import (
+    ALL_DEVICES,
+    EVALUATION_DEVICES,
+    EXTENDED_DEVICES,
+    JETSON_AGX_ORIN,
+    JETSON_ORIN_NX,
+    M2_ULTRA,
+    ONEPLUS_12,
+    RASPBERRY_PI_5,
+    SURFACE_BOOK_3,
+    SURFACE_LAPTOP_7,
+    device_by_name,
+)
+from repro.hardware.device import CPUSpec, Device
+
+
+class TestTable2Devices:
+    """Datasheet values from paper Table 2."""
+
+    def test_m2_ultra(self):
+        assert M2_ULTRA.cpu.cores == 16
+        assert M2_ULTRA.cpu.peak_bandwidth_gbs == pytest.approx(819.2)
+        assert M2_ULTRA.cpu.isa_name == "neon"
+
+    def test_raspberry_pi_5(self):
+        assert RASPBERRY_PI_5.cpu.cores == 4
+        assert RASPBERRY_PI_5.cpu.peak_bandwidth_gbs == pytest.approx(17.1)
+        assert "A76" in RASPBERRY_PI_5.cpu.microarchitecture
+
+    def test_jetson_agx_orin(self):
+        assert JETSON_AGX_ORIN.cpu.cores == 12
+        assert JETSON_AGX_ORIN.cpu.peak_bandwidth_gbs == pytest.approx(204.8)
+        assert JETSON_AGX_ORIN.gpu is not None
+
+    def test_surface_book_3(self):
+        assert SURFACE_BOOK_3.cpu.cores == 4
+        assert SURFACE_BOOK_3.cpu.peak_bandwidth_gbs == pytest.approx(58.2)
+        assert SURFACE_BOOK_3.cpu.isa_name == "avx2"
+
+    def test_evaluation_device_list(self):
+        names = [d.name for d in EVALUATION_DEVICES]
+        assert names == ["M2-Ultra", "Raspberry Pi 5", "Jetson AGX Orin",
+                         "Surface Book 3"]
+
+
+class TestTable6Devices:
+    """Datasheet values from paper Table 6."""
+
+    def test_surface_laptop_7(self):
+        assert SURFACE_LAPTOP_7.cpu.cores == 12
+        assert SURFACE_LAPTOP_7.default_threads == 4
+        assert SURFACE_LAPTOP_7.npu.tops == pytest.approx(45.0)
+        assert SURFACE_LAPTOP_7.npu.tokens_per_sec("Llama-2-7B-4bit") == \
+            pytest.approx(10.40)
+
+    def test_oneplus_12(self):
+        assert ONEPLUS_12.npu.tops == pytest.approx(15.0)
+        assert ONEPLUS_12.gpu.backend == "opencl"
+        assert ONEPLUS_12.npu.tokens_per_sec("Llama-2-7B-4bit") == \
+            pytest.approx(11.30)
+
+    def test_jetson_orin_nx(self):
+        assert JETSON_ORIN_NX.default_threads == 6
+        assert JETSON_ORIN_NX.gpu.backend == "cuda"
+        assert JETSON_ORIN_NX.npu is None
+
+    def test_extended_device_list(self):
+        assert len(EXTENDED_DEVICES) == 3
+        assert len(ALL_DEVICES) == 7
+
+
+class TestDeviceBehaviour:
+    def test_bandwidth_saturates_with_threads(self):
+        cpu = M2_ULTRA.cpu
+        assert cpu.bandwidth_at(1) == pytest.approx(cpu.per_core_bandwidth_gbs)
+        assert cpu.bandwidth_at(16) == pytest.approx(
+            cpu.sustained_bandwidth_gbs)
+        assert cpu.bandwidth_at(1) < cpu.bandwidth_at(4) <= \
+            cpu.bandwidth_at(16)
+
+    def test_sustained_below_peak(self):
+        for device in ALL_DEVICES:
+            assert device.cpu.sustained_bandwidth_gbs <= \
+                device.cpu.peak_bandwidth_gbs
+
+    def test_lookup_by_name_case_insensitive(self):
+        assert device_by_name("m2-ultra") is M2_ULTRA
+        assert device_by_name("Raspberry Pi 5") is RASPBERRY_PI_5
+        with pytest.raises(KeyError):
+            device_by_name("pixel 5")
+
+    def test_default_threads_within_core_count(self):
+        for device in ALL_DEVICES:
+            assert 1 <= device.default_threads <= device.cpu.cores
+
+    def test_invalid_thread_default_rejected(self):
+        cpu = CPUSpec(
+            microarchitecture="test", cores=2, frequency_ghz=1.0,
+            isa_name="neon", simd_throughput_scale=1.0,
+            peak_bandwidth_gbs=10, sustained_bandwidth_gbs=8,
+            per_core_bandwidth_gbs=4,
+        )
+        with pytest.raises(ValueError):
+            Device(name="bad", cpu=cpu, default_threads=3)
+
+    def test_bandwidth_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            M2_ULTRA.cpu.bandwidth_at(0)

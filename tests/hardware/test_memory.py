@@ -1,0 +1,42 @@
+"""Unit tests for the memory/cache model."""
+
+import pytest
+
+from repro.hardware.devices import M2_ULTRA, RASPBERRY_PI_5
+from repro.hardware.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_cache_residency(self):
+        model = MemoryModel(M2_ULTRA.cpu)
+        assert model.cache_resident(1024 * 1024)
+        assert not model.cache_resident(10 * 1024 * 1024 * 1024)
+
+    def test_strided_access_derates_bandwidth(self):
+        model = MemoryModel(RASPBERRY_PI_5.cpu)
+        seq = model.effective_bandwidth_gbs(4, sequential=True)
+        strided = model.effective_bandwidth_gbs(4, sequential=False)
+        assert strided == pytest.approx(seq * model.strided_efficiency)
+
+    def test_dram_time_scales_with_bytes(self):
+        model = MemoryModel(M2_ULTRA.cpu)
+        t1 = model.dram_time_seconds(1e9, threads=8)
+        t2 = model.dram_time_seconds(2e9, threads=8)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_more_threads_never_slower(self):
+        model = MemoryModel(M2_ULTRA.cpu)
+        assert model.dram_time_seconds(1e9, threads=8) <= \
+            model.dram_time_seconds(1e9, threads=1)
+
+    def test_negative_bytes_rejected(self):
+        model = MemoryModel(M2_ULTRA.cpu)
+        with pytest.raises(ValueError):
+            model.dram_time_seconds(-1, threads=1)
+
+    def test_reusable_bytes_only_charged_once(self):
+        model = MemoryModel(M2_ULTRA.cpu)
+        without = model.dram_time_seconds(10e6, threads=8)
+        with_reuse = model.dram_time_seconds(10e6, threads=8,
+                                             reusable_bytes=1e6)
+        assert with_reuse <= without

@@ -1,0 +1,116 @@
+"""Integration tests: the full pipeline from quantization to generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.eval.nmse import nmse
+from repro.llm.architecture import tiny_arch
+from repro.llm.engine import create_engine
+from repro.llm.inference import Generator
+from repro.llm.model import TransformerModel, generate_random_weights
+from repro.quant.bitnet import quantize_bitnet
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+class TestKernelPipeline:
+    """Quantize -> preprocess -> precompute -> lookup -> aggregate, end to end."""
+
+    @pytest.mark.parametrize("bits,group_size", [(1, 32), (2, 64), (3, 32),
+                                                 (4, 128)])
+    def test_full_tmac_configuration(self, bits, group_size):
+        w = gaussian_weights(64, 256, seed=bits)
+        a = gaussian_activation(4, 256, seed=bits + 50)
+        # 1/2-bit deployments in the paper come from specialised quantizers
+        # (OneBit, BitDistiller); the MSE scale search is their stand-in.
+        method = "mse" if bits <= 2 else "absmax"
+        qw = quantize_weights(w, bits=bits, group_size=group_size,
+                              method=method)
+        kernel = TMACKernel(qw, TMACConfig(bits=bits))
+        out = kernel.matmul(a)
+        fp = a @ w.T
+        # The end-to-end error against the *unquantized* weights is dominated
+        # by the weight quantization error, which shrinks as bits grow.
+        error = nmse(fp, out)
+        assert error < {1: 0.55, 2: 0.15, 3: 0.05, 4: 0.02}[bits]
+
+    def test_gemm_and_gemv_agree(self):
+        w = gaussian_weights(32, 128, seed=0)
+        qw = quantize_weights(w, bits=2, group_size=64)
+        kernel = TMACKernel(qw, TMACConfig(bits=2))
+        a = gaussian_activation(4, 128, seed=1)
+        batched = kernel.matmul(a)
+        rows = np.stack([kernel.matmul(a[i]) for i in range(4)])
+        np.testing.assert_allclose(batched, rows, atol=1e-4)
+
+    def test_weights_reusable_across_activations(self):
+        """Offline preprocessing is done once; many online calls reuse it."""
+        w = gaussian_weights(32, 128, seed=3)
+        qw = quantize_weights(w, bits=4, group_size=64)
+        kernel = TMACKernel(qw, TMACConfig(bits=4))
+        first = kernel.matmul(gaussian_activation(1, 128, seed=4))
+        second = kernel.matmul(gaussian_activation(1, 128, seed=5))
+        assert not np.allclose(first, second)
+        # Same activation again gives identical results (stateless online).
+        np.testing.assert_allclose(
+            kernel.matmul(gaussian_activation(1, 128, seed=4)), first)
+
+
+class TestModelPipeline:
+    def test_bitnet_style_model_generation(self):
+        """A ternary (BitNet-like) model generates through the T-MAC engine."""
+        arch = tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                         num_heads=4, vocab_size=71, max_seq_len=48)
+        weights = generate_random_weights(arch, seed=8)
+        model = TransformerModel(
+            arch, engine=create_engine("tmac", bitnet=True, group_size=32),
+            weights=weights)
+        result = Generator(model).generate([1, 2, 3], max_new_tokens=5)
+        assert len(result.generated_tokens) == 5
+
+    def test_three_engines_share_quantized_weights_semantics(self):
+        """The controlled comparison of Table 4: same weights, three engines,
+        quantized engines agree with each other far more than with fp."""
+        arch = tiny_arch(hidden_size=64, intermediate_size=128, num_layers=1,
+                         num_heads=4, vocab_size=53, max_seq_len=32)
+        weights = generate_random_weights(arch, seed=9)
+        tokens = np.array([3, 1, 4, 1, 5])
+
+        logits = {}
+        for kind in ("reference", "dequant", "tmac"):
+            engine = create_engine(kind, bits=4, group_size=32)
+            model = TransformerModel(arch, engine=engine, weights=weights)
+            logits[kind] = model.forward(tokens)
+
+        gap_quantized = nmse(logits["dequant"], logits["tmac"])
+        gap_to_reference = nmse(logits["reference"], logits["tmac"])
+        assert gap_quantized < gap_to_reference
+
+    def test_memory_footprint_ordering(self):
+        """2-bit < 4-bit < fp16 weight bytes for the same model."""
+        arch = tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                         num_heads=4, vocab_size=53)
+        weights = generate_random_weights(arch, seed=10)
+        sizes = {}
+        for label, engine in (
+            ("fp", create_engine("reference")),
+            ("4bit", create_engine("tmac", bits=4, group_size=32)),
+            ("2bit", create_engine("tmac", bits=2, group_size=32)),
+        ):
+            model = TransformerModel(arch, engine=engine, weights=weights)
+            sizes[label] = model.quantized_weight_bytes()
+        assert sizes["2bit"] < sizes["4bit"] < sizes["fp"]
+
+
+class TestBitnetInterpretation:
+    def test_bitnet_codes_run_through_both_kernels(self):
+        from repro.baselines.dequant_gemm import DequantGEMM
+
+        w = gaussian_weights(32, 128, seed=11)
+        qw = quantize_bitnet(w, group_size=32)
+        a = gaussian_activation(1, 128, seed=12)
+        tmac_out = TMACKernel(qw, TMACConfig(bits=2)).matmul(a)
+        dequant_out = DequantGEMM(qw).matmul(a)
+        assert nmse(dequant_out, tmac_out) < 1e-3

@@ -1,0 +1,106 @@
+"""Integration tests tying together the headline claims of the paper.
+
+Each test corresponds to a sentence of the abstract / introduction and
+exercises several subsystems at once (kernels + cost model + devices +
+throughput + energy).
+"""
+
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.energy import PowerModel
+from repro.eval.nmse import kernel_nmse_table
+from repro.hardware import (
+    CostModel,
+    EVALUATION_DEVICES,
+    JETSON_AGX_ORIN,
+    M2_ULTRA,
+    RASPBERRY_PI_5,
+)
+from repro.llm import BITNET_3B, LLAMA_2_7B, estimate_token_throughput
+from repro.workloads.shapes import KERNEL_SHAPES
+
+
+class TestAbstractClaims:
+    def test_kernel_speedup_up_to_several_x(self):
+        """'T-MAC kernel speedup can reach up to 6.6x and an average of 3.6x'
+        — the modeled speedups fall in the same band (>=2x average, >=5x max
+        across shapes, devices and bit widths)."""
+        speedups = []
+        for device in EVALUATION_DEVICES:
+            model = CostModel(device)
+            for shape in KERNEL_SHAPES[:3]:
+                for bits in (1, 2, 3, 4):
+                    tmac = model.tmac_gemv_latency(
+                        shape.m, shape.k, TMACConfig(bits=bits), threads=1)
+                    dequant = model.dequant_gemv_latency(
+                        shape.m, shape.k, bits, threads=1)
+                    speedups.append(dequant.seconds / tmac.seconds)
+        average = sum(speedups) / len(speedups)
+        assert average > 2.0
+        assert max(speedups) > 5.0
+
+    def test_e2e_throughput_improvement_2_to_4x(self):
+        """'2-4x end-to-end inference throughput improvement' for low-bit
+        models (taking the single-thread Raspberry Pi / Orin cases)."""
+        ratios = []
+        for device in (RASPBERRY_PI_5, JETSON_AGX_ORIN):
+            for arch, bits in ((LLAMA_2_7B, 2), (BITNET_3B, 2)):
+                tmac = estimate_token_throughput(device, arch, bits, "tmac",
+                                                 threads=1)
+                llama = estimate_token_throughput(device, arch, bits,
+                                                  "llama.cpp", threads=1)
+                ratios.append(tmac.speedup_over(llama))
+        assert max(ratios) > 2.5
+        assert min(ratios) > 1.5
+
+    def test_energy_reduction_up_to_70_percent(self):
+        """'reducing 60-70% energy compared to llama.cpp' for the best case."""
+        reductions = []
+        power = PowerModel(M2_ULTRA)
+        for arch, bits in ((LLAMA_2_7B, 4), (LLAMA_2_7B, 2), (BITNET_3B, 2)):
+            joules = {}
+            for engine in ("llama.cpp", "tmac"):
+                est = estimate_token_throughput(M2_ULTRA, arch, bits, engine)
+                joules[engine] = power.cpu_token_energy(
+                    est.seconds_per_token, est.instructions_per_token,
+                    est.dram_gb_per_token, est.threads).joules_per_token
+            reductions.append(1.0 - joules["tmac"] / joules["llama.cpp"])
+        assert max(reductions) > 0.4
+        assert all(r > 0.1 for r in reductions)
+
+    def test_bitnet_on_raspberry_pi_is_interactive(self):
+        """'11 tokens/s on Raspberry Pi 5 for BitNet-b1.58-3B'."""
+        est = estimate_token_throughput(RASPBERRY_PI_5, BITNET_3B, 2, "tmac")
+        assert est.tokens_per_sec > 5
+
+    def test_m2_ultra_bitnet_single_and_multi_core(self):
+        """'30 tokens/s with a single core and 71 tokens/s with eight cores
+        on M2-Ultra' — the model lands in the same band."""
+        single = estimate_token_throughput(M2_ULTRA, BITNET_3B, 2, "tmac",
+                                           threads=1)
+        multi = estimate_token_throughput(M2_ULTRA, BITNET_3B, 2, "tmac",
+                                          threads=8)
+        assert 10 < single.tokens_per_sec < 80
+        assert 40 < multi.tokens_per_sec < 250
+        assert multi.tokens_per_sec > single.tokens_per_sec
+
+    def test_unified_scalability_claim(self):
+        """One kernel (and one config dataclass) covers every bit width the
+        paper evaluates, with latency scaling down linearly."""
+        model = CostModel(M2_ULTRA)
+        latencies = [
+            model.tmac_gemv_latency(4096, 4096, TMACConfig(bits=b),
+                                    threads=1).seconds
+            for b in (1, 2, 3, 4)
+        ]
+        for i in range(3):
+            ratio = latencies[i + 1] / latencies[0]
+            assert ratio == pytest.approx(i + 2, rel=0.35)
+
+    def test_error_claims(self):
+        """Table quantization is negligible; fast aggregation is not (Sec 5.6)."""
+        rows = kernel_nmse_table([(1024, 2048)], bits=4, seed=3)
+        row = rows[0]
+        assert row.tmac == pytest.approx(row.llama_cpp, rel=0.1)
+        assert row.tmac_fast_aggregation > 1.3 * row.tmac

@@ -1,0 +1,83 @@
+"""Unit tests for the transformer architecture descriptions."""
+
+import pytest
+
+from repro.llm.architecture import (
+    BITNET_3B,
+    LLAMA_2_13B,
+    LLAMA_2_7B,
+    TransformerArch,
+    tiny_arch,
+)
+
+
+class TestLlamaArchitectures:
+    def test_llama_2_7b_dimensions(self):
+        assert LLAMA_2_7B.hidden_size == 4096
+        assert LLAMA_2_7B.intermediate_size == 11008
+        assert LLAMA_2_7B.num_layers == 32
+        assert LLAMA_2_7B.head_dim == 128
+
+    def test_llama_2_13b_dimensions(self):
+        assert LLAMA_2_13B.hidden_size == 5120
+        assert LLAMA_2_13B.intermediate_size == 13824
+        assert LLAMA_2_13B.num_layers == 40
+
+    def test_parameter_counts_are_plausible(self):
+        """~6.7B / ~13B / ~3.3B parameters respectively."""
+        assert 6.0e9 < LLAMA_2_7B.num_parameters() < 7.5e9
+        assert 12.0e9 < LLAMA_2_13B.num_parameters() < 14.0e9
+        assert 2.5e9 < BITNET_3B.num_parameters() < 4.0e9
+
+    def test_kernel_shapes_of_figure6_come_from_these_models(self):
+        """The S0-S2 / S3-S5 benchmark shapes are 7B / 13B layer shapes."""
+        shapes_7b = {(m, k) for _, m, k in LLAMA_2_7B.layer_linear_shapes()}
+        assert (4096, 4096) in shapes_7b
+        assert (11008, 4096) in shapes_7b
+        assert (4096, 11008) in shapes_7b
+        shapes_13b = {(m, k) for _, m, k in LLAMA_2_13B.layer_linear_shapes()}
+        assert (5120, 5120) in shapes_13b
+        assert (13824, 5120) in shapes_13b
+        assert (5120, 13824) in shapes_13b
+
+    def test_decode_shapes_cover_all_layers_plus_lm_head(self):
+        shapes = LLAMA_2_7B.decode_matmul_shapes()
+        assert len(shapes) == 32 * 7 + 1
+        assert shapes[-1][0] == "lm_head"
+        assert shapes[-1][1] == 32000
+
+    def test_weight_bytes_scale_with_bits(self):
+        b4 = LLAMA_2_7B.weight_bytes(4)
+        b2 = LLAMA_2_7B.weight_bytes(2)
+        b1 = LLAMA_2_7B.weight_bytes(1)
+        assert b1 < b2 < b4
+        # 4-bit Llama-2-7B is roughly 3.5-4 GB packed.
+        assert 3.0e9 < b4 < 4.5e9
+
+    def test_flops_per_token(self):
+        # ~2 * 6.6B matmul parameters.
+        assert 1.2e10 < LLAMA_2_7B.flops_per_token() < 1.5e10
+
+
+class TestValidation:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            TransformerArch("bad", 100, 256, 2, 3, 3, 1000)
+
+    def test_kv_heads_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            TransformerArch("bad", 128, 256, 2, 4, 3, 1000)
+
+
+class TestTinyArch:
+    def test_structure_matches_llama(self):
+        arch = tiny_arch()
+        names = [name for name, _, _ in arch.layer_linear_shapes()]
+        assert names == [name for name, _, _ in
+                         LLAMA_2_7B.layer_linear_shapes()]
+
+    def test_grouped_query_attention_supported(self):
+        arch = tiny_arch(num_heads=8, num_kv_heads=2)
+        assert arch.kv_dim == arch.head_dim * 2
+        k_shape = dict((n, (m, k)) for n, m, k in arch.layer_linear_shapes())
+        assert k_shape["attn.k_proj"][0] == arch.kv_dim

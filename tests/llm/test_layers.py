@@ -1,0 +1,127 @@
+"""Unit tests for the transformer layers."""
+
+import numpy as np
+import pytest
+
+from repro.llm.architecture import tiny_arch
+from repro.llm.engine import ReferenceEngine
+from repro.llm.layers import (
+    Attention,
+    KVCache,
+    MLP,
+    apply_rope,
+    build_rope_cache,
+    rms_norm,
+    silu,
+    softmax,
+)
+from repro.llm.model import generate_random_weights
+
+
+class TestPrimitives:
+    def test_rms_norm_unit_scale(self, rng):
+        x = rng.standard_normal((4, 64)).astype(np.float32) * 3
+        out = rms_norm(x, np.ones(64, dtype=np.float32))
+        rms = np.sqrt(np.mean(out ** 2, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.standard_normal((3, 10)).astype(np.float32) * 50
+        probs = softmax(x)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+        assert np.all(probs >= 0)
+
+    def test_softmax_stability_with_large_values(self):
+        x = np.array([[1e4, 1e4 - 1.0]], dtype=np.float32)
+        probs = softmax(x)
+        assert np.all(np.isfinite(probs))
+
+    def test_silu_known_values(self):
+        assert silu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert silu(np.array([10.0]))[0] == pytest.approx(10.0, abs=1e-3)
+
+
+class TestRope:
+    def test_rotation_preserves_norm(self, rng):
+        cos, sin = build_rope_cache(32, 16)
+        x = rng.standard_normal((5, 2, 16)).astype(np.float32)
+        rotated = apply_rope(x, cos, sin, np.arange(5))
+        np.testing.assert_allclose(np.linalg.norm(rotated, axis=-1),
+                                   np.linalg.norm(x, axis=-1), rtol=1e-5)
+
+    def test_position_zero_is_identity(self, rng):
+        cos, sin = build_rope_cache(8, 8)
+        x = rng.standard_normal((1, 1, 8)).astype(np.float32)
+        rotated = apply_rope(x, cos, sin, np.array([0]))
+        np.testing.assert_allclose(rotated, x, atol=1e-6)
+
+    def test_relative_property(self, rng):
+        """Dot products depend only on relative positions."""
+        cos, sin = build_rope_cache(64, 16)
+        q = rng.standard_normal((1, 1, 16)).astype(np.float32)
+        k = rng.standard_normal((1, 1, 16)).astype(np.float32)
+        def score(pq, pk):
+            rq = apply_rope(q, cos, sin, np.array([pq]))[0, 0]
+            rk = apply_rope(k, cos, sin, np.array([pk]))[0, 0]
+            return float(rq @ rk)
+        assert score(3, 1) == pytest.approx(score(10, 8), abs=1e-4)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            build_rope_cache(8, 7)
+
+
+class TestKVCache:
+    def test_append_and_stack(self, rng):
+        cache = KVCache()
+        cache.append(rng.standard_normal((3, 2, 8)), rng.standard_normal((3, 2, 8)))
+        cache.append(rng.standard_normal((1, 2, 8)), rng.standard_normal((1, 2, 8)))
+        k, v = cache.stacked()
+        assert k.shape == (4, 2, 8)
+        assert cache.length == 4
+        assert cache.memory_bytes() > 0
+
+    def test_empty_cache_rejected(self):
+        with pytest.raises(ValueError):
+            KVCache().stacked()
+
+
+class TestAttentionAndMLP:
+    def test_incremental_attention_matches_full_pass(self, rng):
+        """Decoding token-by-token with a KV cache equals a full forward."""
+        arch = tiny_arch(hidden_size=32, intermediate_size=64, num_layers=1,
+                         num_heads=4, vocab_size=50)
+        weights = generate_random_weights(arch, seed=3)["layers"][0]
+        attention = Attention(arch, ReferenceEngine(), weights["attention"])
+
+        x = rng.standard_normal((6, 32)).astype(np.float32)
+        full = attention.forward(x, np.arange(6), cache=None)
+
+        cache = KVCache()
+        incremental = []
+        for position in range(6):
+            out = attention.forward(x[position:position + 1],
+                                    np.array([position]), cache=cache)
+            incremental.append(out[0])
+        np.testing.assert_allclose(np.stack(incremental), full, atol=1e-4)
+
+    def test_causality(self, rng):
+        """Changing a future token does not affect earlier outputs."""
+        arch = tiny_arch(hidden_size=32, intermediate_size=64, num_layers=1,
+                         num_heads=4, vocab_size=50)
+        weights = generate_random_weights(arch, seed=4)["layers"][0]
+        attention = Attention(arch, ReferenceEngine(), weights["attention"])
+        x = rng.standard_normal((5, 32)).astype(np.float32)
+        out_a = attention.forward(x, np.arange(5))
+        x_modified = x.copy()
+        x_modified[4] += 10.0
+        out_b = attention.forward(x_modified, np.arange(5))
+        np.testing.assert_allclose(out_a[:4], out_b[:4], atol=1e-4)
+
+    def test_mlp_shapes(self, rng):
+        arch = tiny_arch(hidden_size=32, intermediate_size=96, num_layers=1,
+                         num_heads=4, vocab_size=50)
+        weights = generate_random_weights(arch, seed=5)["layers"][0]
+        mlp = MLP(arch, ReferenceEngine(), weights["mlp"])
+        out = mlp.forward(rng.standard_normal((3, 32)).astype(np.float32))
+        assert out.shape == (3, 32)

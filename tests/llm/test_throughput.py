@@ -1,0 +1,128 @@
+"""Unit tests for the analytic end-to-end throughput model."""
+
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.hardware import (
+    JETSON_AGX_ORIN,
+    JETSON_ORIN_NX,
+    M2_ULTRA,
+    ONEPLUS_12,
+    RASPBERRY_PI_5,
+    SURFACE_LAPTOP_7,
+)
+from repro.llm import BITNET_3B, LLAMA_2_7B, estimate_token_throughput
+
+
+class TestBasics:
+    def test_throughput_is_inverse_latency(self):
+        est = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 4, "tmac")
+        assert est.tokens_per_sec == pytest.approx(1.0 / est.seconds_per_token)
+        assert est.seconds_per_token == pytest.approx(
+            est.matmul_seconds + est.overhead_seconds)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 4, "npu")
+
+    def test_gpu_engine_requires_gpu(self):
+        with pytest.raises(ValueError):
+            estimate_token_throughput(RASPBERRY_PI_5, LLAMA_2_7B, 4, "gpu")
+
+    def test_instruction_and_traffic_totals_populated(self):
+        est = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 4, "tmac")
+        assert est.instructions_per_token > 0
+        # Roughly the packed model size per token.
+        assert 2.0 < est.dram_gb_per_token < 6.0
+
+    def test_more_threads_help(self):
+        single = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 2, "tmac",
+                                           threads=1)
+        multi = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 2, "tmac",
+                                          threads=8)
+        assert multi.tokens_per_sec > single.tokens_per_sec
+
+
+class TestPaperFigure8:
+    """End-to-end decode throughput relationships from Figure 8."""
+
+    @pytest.mark.parametrize("device", [M2_ULTRA, RASPBERRY_PI_5,
+                                        JETSON_AGX_ORIN])
+    @pytest.mark.parametrize("arch,bits", [(LLAMA_2_7B, 4), (LLAMA_2_7B, 2),
+                                           (BITNET_3B, 2)])
+    def test_tmac_always_at_least_as_fast(self, device, arch, bits):
+        tmac = estimate_token_throughput(device, arch, bits, "tmac")
+        llama = estimate_token_throughput(device, arch, bits, "llama.cpp")
+        assert tmac.tokens_per_sec >= llama.tokens_per_sec * 0.99
+
+    def test_2bit_speedup_larger_than_4bit(self):
+        for device in (M2_ULTRA, RASPBERRY_PI_5):
+            speedups = {}
+            for bits in (4, 2):
+                tmac = estimate_token_throughput(device, LLAMA_2_7B, bits,
+                                                 "tmac")
+                llama = estimate_token_throughput(device, LLAMA_2_7B, bits,
+                                                  "llama.cpp")
+                speedups[bits] = tmac.speedup_over(llama)
+            assert speedups[2] > speedups[4]
+
+    def test_m2_ultra_bitnet_rate_in_tens_of_tokens(self):
+        """BitNet-3B runs at tens of tokens/s on M2-Ultra (paper: 71 tok/s)."""
+        est = estimate_token_throughput(M2_ULTRA, BITNET_3B, 2, "tmac")
+        assert 30 < est.tokens_per_sec < 250
+
+    def test_raspberry_pi_bitnet_is_usable(self):
+        """BitNet-3B reaches ~10 tokens/s on a Raspberry Pi 5 (paper: 11)."""
+        est = estimate_token_throughput(RASPBERRY_PI_5, BITNET_3B, 2, "tmac")
+        assert 5 < est.tokens_per_sec < 25
+
+    def test_quantized_beats_fp16(self):
+        fp16 = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 16, "fp16",
+                                         threads=1)
+        tmac = estimate_token_throughput(M2_ULTRA, LLAMA_2_7B, 4, "tmac",
+                                         threads=1)
+        assert tmac.tokens_per_sec > fp16.tokens_per_sec
+
+
+class TestPaperTable7:
+    """CPU vs GPU vs NPU relationships from Table 7."""
+
+    def test_tmac_cpu_beats_npu_published_numbers(self):
+        from repro.baselines.npu import npu_tokens_per_sec
+
+        for device in (SURFACE_LAPTOP_7, ONEPLUS_12):
+            npu = npu_tokens_per_sec(device, "Llama-2-7B-4bit")
+            est2 = estimate_token_throughput(device, LLAMA_2_7B, 2, "tmac")
+            assert est2.tokens_per_sec > npu
+
+    def test_adreno_gpu_backend_is_slow(self):
+        """llama.cpp's OpenCL path on the OnePlus 12 is far slower than the
+        T-MAC CPU path (paper: 1.6 vs 10-17 tokens/s)."""
+        gpu = estimate_token_throughput(ONEPLUS_12, LLAMA_2_7B, 4, "gpu")
+        cpu = estimate_token_throughput(ONEPLUS_12, LLAMA_2_7B, 4, "tmac")
+        assert cpu.tokens_per_sec > 3 * gpu.tokens_per_sec
+
+    def test_orin_nx_gpu_wins_at_4bit_but_tmac_wins_at_2bit(self):
+        gpu4 = estimate_token_throughput(JETSON_ORIN_NX, LLAMA_2_7B, 4, "gpu")
+        cpu4 = estimate_token_throughput(JETSON_ORIN_NX, LLAMA_2_7B, 4, "tmac")
+        gpu2 = estimate_token_throughput(JETSON_ORIN_NX, LLAMA_2_7B, 2, "gpu")
+        cpu2 = estimate_token_throughput(JETSON_ORIN_NX, LLAMA_2_7B, 2, "tmac")
+        assert gpu4.tokens_per_sec > cpu4.tokens_per_sec
+        assert cpu2.tokens_per_sec > 0.9 * gpu2.tokens_per_sec
+
+    def test_gpu_2bit_not_faster_than_4bit(self):
+        """Low-bit GPU kernels do not convert footprint into speedup."""
+        gpu4 = estimate_token_throughput(JETSON_ORIN_NX, LLAMA_2_7B, 4, "gpu")
+        gpu2 = estimate_token_throughput(JETSON_ORIN_NX, LLAMA_2_7B, 2, "gpu")
+        assert gpu2.tokens_per_sec < gpu4.tokens_per_sec * 1.05
+
+
+class TestFastAggregationThroughput:
+    def test_fa_never_slower(self):
+        base = estimate_token_throughput(
+            RASPBERRY_PI_5, LLAMA_2_7B, 4, "tmac", threads=1)
+        fa = estimate_token_throughput(
+            RASPBERRY_PI_5, LLAMA_2_7B, 4, "tmac", threads=1,
+            config=TMACConfig(bits=4, fast_aggregation=True))
+        assert fa.tokens_per_sec >= base.tokens_per_sec
+        assert fa.engine == "T-MAC (+FA)"

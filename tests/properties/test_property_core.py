@@ -1,0 +1,155 @@
+"""Property-based tests for the T-MAC core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.aggregation import fast_aggregate, rhadd
+from repro.core.bitserial import compose_bits, decompose_bits
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.core.lut import build_lut, lookup, precompute_lut
+from repro.core.weights import (
+    deinterleave_packed,
+    group_bits,
+    interleave_packed,
+    pack_indices,
+    permute_tiles,
+    ungroup_bits,
+    unpack_indices,
+    unpermute_tiles,
+)
+from repro.quant.uniform import quantize_weights
+
+
+class TestBitserialProperties:
+    @given(
+        codes=hnp.arrays(dtype=np.uint8, shape=(4, 16),
+                         elements=st.integers(0, 15)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decompose_compose_round_trip(self, codes):
+        np.testing.assert_array_equal(
+            compose_bits(decompose_bits(codes, 4)), codes)
+
+
+class TestLayoutProperties:
+    @given(
+        plane=hnp.arrays(dtype=np.uint8, shape=(6, 24),
+                         elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_group_ungroup_round_trip(self, plane):
+        np.testing.assert_array_equal(ungroup_bits(group_bits(plane, 4), 4),
+                                      plane)
+
+    @given(
+        indices=hnp.arrays(dtype=np.uint8, shape=(3, 40),
+                           elements=st.integers(0, 15)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trip(self, indices):
+        packed = pack_indices(indices, g=4)
+        np.testing.assert_array_equal(
+            unpack_indices(packed, indices.shape[1], g=4), indices)
+
+    @given(
+        packed=hnp.arrays(dtype=np.uint8, shape=(2, 48),
+                          elements=st.integers(0, 255)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleave_round_trip(self, packed):
+        np.testing.assert_array_equal(
+            deinterleave_packed(interleave_packed(packed)), packed)
+
+    @given(
+        matrix=hnp.arrays(dtype=np.int32, shape=(7, 11),
+                          elements=st.integers(-100, 100)),
+        tile_m=st.integers(1, 8),
+        tile_k=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_permute_round_trip(self, matrix, tile_m, tile_k):
+        flat = permute_tiles(matrix, tile_m, tile_k)
+        np.testing.assert_array_equal(
+            unpermute_tiles(flat, matrix.shape, tile_m, tile_k), matrix)
+
+
+class TestLutProperties:
+    @given(
+        activation=hnp.arrays(
+            dtype=np.float32, shape=(1, 16),
+            elements=st.floats(-4.0, 4.0, allow_nan=False, width=32)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mirror_symmetry(self, activation):
+        """Entry(p) == -Entry(~p) for the +-1 transform."""
+        lut = build_lut(activation, g=4)
+        for p in range(16):
+            np.testing.assert_allclose(lut[0, :, p], -lut[0, :, 15 - p],
+                                       atol=1e-4)
+
+    @given(
+        activation=hnp.arrays(
+            dtype=np.float32, shape=(1, 16),
+            elements=st.floats(-4.0, 4.0, allow_nan=False, width=32)),
+        indices=hnp.arrays(dtype=np.uint8, shape=(5, 4),
+                           elements=st.integers(0, 15)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_consolidated_lookup_equals_full_lookup(self, activation, indices):
+        full = precompute_lut(activation, g=4, mirror_consolidation=False,
+                              table_quantization=False, act_dtype="float32")
+        half = precompute_lut(activation, g=4, mirror_consolidation=True,
+                              table_quantization=False, act_dtype="float32")
+        np.testing.assert_allclose(lookup(half, indices),
+                                   lookup(full, indices), atol=1e-5)
+
+
+class TestAggregationProperties:
+    @given(
+        values=hnp.arrays(dtype=np.int64, shape=(20, 8),
+                          elements=st.integers(-127, 127)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rhadd_bounds(self, values):
+        a, b = values[:10], values[10:]
+        result = rhadd(a, b)
+        assert np.all(result >= np.minimum(a, b))
+        assert np.all(result <= np.maximum(a, b) + 1)
+
+    @given(
+        values=hnp.arrays(dtype=np.int64, shape=(4, 16),
+                          elements=st.integers(-127, 127)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fast_aggregate_error_bounded(self, values):
+        """The rhadd-tree estimate stays within a bounded distance of the
+        true sum (each tree level contributes at most 1 LSB of error per
+        element)."""
+        estimate = fast_aggregate(values, axis=-1)
+        true = values.sum(axis=-1)
+        levels = 4  # 16 leaves
+        assert np.all(np.abs(estimate - true) <= levels * 16 + 16)
+
+
+class TestKernelProperties:
+    @given(
+        bits=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_error_bounded_by_quantization_step(self, bits, seed):
+        """T-MAC output (without table quantization) equals the dequantized
+        reference for any weights/activations and bit width."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((16, 32)).astype(np.float32)
+        a = rng.standard_normal((2, 32)).astype(np.float32)
+        qw = quantize_weights(w, bits=bits, group_size=16)
+        config = TMACConfig(bits=bits, table_quantization=False,
+                            act_dtype="float32")
+        out = TMACKernel(qw, config).matmul(a)
+        from repro.baselines.reference import quantized_reference_gemm
+        ref = quantized_reference_gemm(a, qw)
+        assert np.allclose(out, ref, atol=1e-3, rtol=1e-4)

@@ -1,0 +1,74 @@
+"""Property-based tests for the quantization substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.activation import dequantize_activation, quantize_activation
+from repro.quant.bitnet import ternary_codes
+from repro.quant.uniform import dequantize_weights, max_code, quantize_weights
+
+
+def weight_matrices(max_m=8, k_choices=(16, 32, 64)):
+    """Strategy for small well-conditioned weight matrices."""
+    return st.integers(1, max_m).flatmap(
+        lambda m: st.sampled_from(k_choices).flatmap(
+            lambda k: hnp.arrays(
+                dtype=np.float32,
+                shape=(m, k),
+                elements=st.floats(-8.0, 8.0, allow_nan=False, width=32),
+            )
+        )
+    )
+
+
+class TestUniformQuantProperties:
+    @given(weights=weight_matrices(), bits=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_codes_always_in_range(self, weights, bits):
+        qw = quantize_weights(weights, bits=bits, group_size=16)
+        assert qw.codes.min() >= 0
+        assert qw.codes.max() <= max_code(bits)
+
+    @given(weights=weight_matrices(), bits=st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_error_within_half_step(self, weights, bits):
+        qw = quantize_weights(weights, bits=bits, group_size=16)
+        recon = dequantize_weights(qw)
+        step = np.repeat(qw.scales, qw.group_size, axis=1)
+        assert np.all(np.abs(recon - weights) <= step * 0.5 + 1e-5)
+
+    @given(weights=weight_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_is_idempotent(self, weights):
+        """Quantizing an already-quantized (reconstructed) matrix is lossless."""
+        qw = quantize_weights(weights, bits=4, group_size=16)
+        recon = dequantize_weights(qw)
+        qw2 = quantize_weights(recon, bits=4, group_size=16)
+        recon2 = dequantize_weights(qw2)
+        assert np.allclose(recon, recon2, atol=1e-4)
+
+
+class TestActivationQuantProperties:
+    @given(
+        activation=hnp.arrays(
+            dtype=np.float32, shape=(2, 64),
+            elements=st.floats(-100.0, 100.0, allow_nan=False, width=32)),
+        block=st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_bounded(self, activation, block):
+        qa = quantize_activation(activation, block_size=block)
+        recon = dequantize_activation(qa)
+        scale = np.abs(activation).max() + 1e-6
+        assert np.abs(recon - activation).max() <= scale / 127.0 + 1e-5
+
+
+class TestBitnetProperties:
+    @given(weights=weight_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_ternary_values_and_positive_scales(self, weights):
+        ternary, scales = ternary_codes(weights)
+        assert set(np.unique(ternary)).issubset({-1, 0, 1})
+        assert np.all(scales > 0)

@@ -1,0 +1,63 @@
+"""Unit tests for BitNet ternary quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quant.bitnet import quantize_bitnet, ternary_codes
+from repro.quant.uniform import dequantize_weights
+
+
+class TestTernaryCodes:
+    def test_values_are_ternary(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((16, 64)).astype(np.float32)
+        ternary, scales = ternary_codes(w)
+        assert set(np.unique(ternary)).issubset({-1, 0, 1})
+        assert scales.shape == (16,)
+        assert np.all(scales > 0)
+
+    def test_scale_is_row_absmean(self):
+        w = np.array([[1.0, -1.0, 2.0, -2.0]], dtype=np.float32)
+        _, scales = ternary_codes(w)
+        np.testing.assert_allclose(scales, [1.5])
+
+    def test_large_values_map_to_sign(self):
+        w = np.array([[10.0, -10.0, 0.01, -0.01]], dtype=np.float32)
+        ternary, _ = ternary_codes(w)
+        assert ternary[0, 0] == 1
+        assert ternary[0, 1] == -1
+        assert ternary[0, 2] == 0
+        assert ternary[0, 3] == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ternary_codes(np.zeros(8, dtype=np.float32))
+
+
+class TestQuantizeBitnet:
+    def test_emits_two_bit_codes(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((8, 128)).astype(np.float32)
+        qw = quantize_bitnet(w, group_size=64)
+        assert qw.bits == 2
+        assert set(np.unique(qw.codes)).issubset({0, 1, 2})
+        assert qw.metadata["ternary"] is True
+
+    def test_dequantization_matches_ternary_reconstruction(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((8, 128)).astype(np.float32)
+        qw = quantize_bitnet(w, group_size=32)
+        ternary, scales = ternary_codes(w)
+        expected = ternary.astype(np.float32) * scales[:, None]
+        np.testing.assert_allclose(dequantize_weights(qw), expected, atol=1e-5)
+
+    def test_compatible_with_generic_quantized_weight_contract(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((4, 64)).astype(np.float32)
+        qw = quantize_bitnet(w, group_size=32)
+        qw.validate()
+        assert qw.scales.shape == (4, 2)
+
+    def test_group_size_must_divide_k(self):
+        with pytest.raises(ValueError):
+            quantize_bitnet(np.zeros((4, 100), dtype=np.float32), group_size=64)

@@ -1,0 +1,26 @@
+"""Unit tests for the Table 1 intrinsics catalogue."""
+
+import pytest
+
+from repro.simd.intrinsics import INTRINSICS_TABLE, intrinsics_for
+
+
+class TestIntrinsicsTable:
+    def test_neon_row_matches_paper_table1(self):
+        entry = intrinsics_for("neon")
+        assert entry.lookup == "vqtbl1q_u8"
+        assert entry.fast_aggregation == "vrhaddq_u8"
+        assert entry.lookup_width_bits == 128
+
+    def test_avx2_row_matches_paper_table1(self):
+        entry = intrinsics_for("AVX2")
+        assert entry.lookup == "_mm256_shuffle_epi8"
+        assert entry.fast_aggregation == "_mm256_avg_epu8"
+        assert entry.lookup_width_bits == 256
+
+    def test_both_isas_present(self):
+        assert set(INTRINSICS_TABLE) == {"neon", "avx2"}
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(KeyError):
+            intrinsics_for("sse2")

@@ -1,0 +1,44 @@
+"""Unit tests for the instruction-set descriptions."""
+
+import pytest
+
+from repro.simd.isa import AVX2, NEON, InstructionCategory, isa_for_name
+
+
+class TestInstructionSets:
+    def test_neon_width_and_registers(self):
+        assert NEON.width_bits == 128
+        assert NEON.num_registers == 32
+        assert NEON.lanes_int8 == 16
+        assert NEON.lanes_fp16 == 8
+
+    def test_avx2_width_and_registers(self):
+        assert AVX2.width_bits == 256
+        assert AVX2.num_registers == 16
+        assert AVX2.lanes_int8 == 32
+
+    def test_lookup_reach_is_16_entries(self):
+        """Both TBL and PSHUFB address 16 8-bit entries per 128-bit lane."""
+        assert NEON.lookup_reach == 16
+        assert AVX2.lookup_reach == 16
+
+    def test_int8_adds_twice_as_fast_as_int16(self):
+        """The throughput asymmetry that motivates fast aggregation."""
+        for isa in (NEON, AVX2):
+            assert isa.throughput_of(InstructionCategory.ADD_INT8) == \
+                2 * isa.throughput_of(InstructionCategory.ADD_INT16)
+
+    def test_all_categories_have_throughput(self):
+        for isa in (NEON, AVX2):
+            for category in InstructionCategory.ALL:
+                assert isa.throughput_of(category) > 0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            NEON.throughput_of("teleport")
+
+    def test_lookup_by_name(self):
+        assert isa_for_name("neon") is NEON
+        assert isa_for_name("avx2") is AVX2
+        with pytest.raises(KeyError):
+            isa_for_name("riscv")

@@ -1,0 +1,136 @@
+"""Unit tests for the SIMD register machine."""
+
+import numpy as np
+import pytest
+
+from repro.simd.isa import AVX2, NEON, InstructionCategory as IC
+from repro.simd.machine import SIMDMachine, dequant_block_gemv, tmac_block_gemv
+
+
+class TestInstructions:
+    def test_tbl_matches_table_indexing(self, rng):
+        machine = SIMDMachine(NEON)
+        table = rng.integers(-100, 100, size=16).astype(np.int8)
+        idx = rng.integers(0, 16, size=16).astype(np.uint8)
+        out = machine.tbl(table, idx)
+        np.testing.assert_array_equal(out, table[idx])
+
+    def test_tbl_out_of_range_returns_zero(self):
+        machine = SIMDMachine(NEON)
+        table = np.arange(16, dtype=np.int8)
+        idx = np.full(16, 200, dtype=np.uint8)
+        np.testing.assert_array_equal(machine.tbl(table, idx), np.zeros(16))
+
+    def test_tbl_requires_16_entries(self):
+        machine = SIMDMachine(NEON)
+        with pytest.raises(ValueError):
+            machine.tbl(np.zeros(8, dtype=np.int8), np.zeros(16, dtype=np.uint8))
+
+    def test_rhadd_semantics(self):
+        machine = SIMDMachine(NEON)
+        a = np.full(16, 3, dtype=np.int8)
+        b = np.full(16, 4, dtype=np.int8)
+        np.testing.assert_array_equal(machine.rhadd_i8(a, b), np.full(16, 4))
+
+    def test_dot_int8(self, rng):
+        machine = SIMDMachine(NEON)
+        a = rng.integers(-10, 10, size=16).astype(np.int8)
+        b = rng.integers(-10, 10, size=16).astype(np.int8)
+        acc = np.zeros(4, dtype=np.int32)
+        out = machine.dot_int8(acc, a, b)
+        expected = (a.astype(np.int32) * b).reshape(4, 4).sum(axis=1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_unpack_instructions(self):
+        machine = SIMDMachine(NEON)
+        packed = np.arange(16, dtype=np.uint8) | 0xA0
+        low = machine.and_mask(packed, 0x0F)
+        high = machine.shr(packed, 4)
+        np.testing.assert_array_equal(low, np.arange(16))
+        np.testing.assert_array_equal(high, np.full(16, 0x0A))
+        assert machine.instruction_counts()[IC.UNPACK] == 2
+
+    def test_lane_width_enforced(self):
+        machine = SIMDMachine(NEON)
+        with pytest.raises(ValueError):
+            machine.load(np.zeros(8, dtype=np.uint8))
+
+    def test_avx2_lane_width(self):
+        machine = SIMDMachine(AVX2)
+        assert machine.lanes == 32
+        machine.load(np.zeros(32, dtype=np.uint8))
+
+    def test_counting_and_reset(self):
+        machine = SIMDMachine(NEON)
+        machine.load(np.zeros(16, dtype=np.uint8))
+        machine.store(np.zeros(16))
+        assert machine.total_instructions() == 2
+        machine.reset()
+        assert machine.total_instructions() == 0
+
+
+class TestTmacBlock:
+    def _numpy_reference(self, luts, indices):
+        out = np.zeros(indices.shape[0], dtype=np.int64)
+        for m in range(indices.shape[0]):
+            out[m] = sum(int(luts[j, indices[m, j]])
+                         for j in range(indices.shape[1]))
+        return out
+
+    def test_exact_aggregation_matches_reference(self, rng):
+        machine = SIMDMachine(NEON)
+        luts = rng.integers(-100, 100, size=(8, 16)).astype(np.int8)
+        indices = rng.integers(0, 16, size=(32, 8)).astype(np.uint8)
+        out = tmac_block_gemv(machine, luts, indices)
+        np.testing.assert_array_equal(out, self._numpy_reference(luts, indices))
+
+    def test_instruction_counts_match_closed_form(self, rng):
+        """Lookups = M*J/lanes, one widening add per lookup."""
+        machine = SIMDMachine(NEON)
+        luts = rng.integers(-50, 50, size=(4, 16)).astype(np.int8)
+        indices = rng.integers(0, 16, size=(64, 4)).astype(np.uint8)
+        tmac_block_gemv(machine, luts, indices)
+        counts = machine.instruction_counts()
+        expected_lookups = 64 * 4 // 16
+        assert counts[IC.LOOKUP] == expected_lookups
+        assert counts[IC.ADD_INT16] == expected_lookups
+
+    def test_fast_aggregation_is_approximate(self, rng):
+        machine = SIMDMachine(NEON)
+        luts = rng.integers(-100, 100, size=(16, 16)).astype(np.int8)
+        indices = rng.integers(0, 16, size=(16, 16)).astype(np.uint8)
+        exact = self._numpy_reference(luts, indices)
+        fast = tmac_block_gemv(machine, luts, indices, fast_aggregation=True)
+        # Unbiased-ish but not exact.
+        assert not np.array_equal(fast, exact)
+        assert np.abs(fast - exact).mean() < np.abs(exact).mean() * 0.2 + 32
+        assert machine.instruction_counts()[IC.ADD_INT8] > 0
+
+    def test_requires_lane_multiple(self, rng):
+        machine = SIMDMachine(NEON)
+        with pytest.raises(ValueError):
+            tmac_block_gemv(machine, np.zeros((2, 16), dtype=np.int8),
+                            np.zeros((10, 2), dtype=np.uint8))
+
+
+class TestDequantBlock:
+    def test_matches_numpy_dot(self, rng):
+        machine = SIMDMachine(NEON)
+        w = rng.integers(-20, 20, size=(8, 64)).astype(np.int8)
+        a = rng.integers(-20, 20, size=64).astype(np.int8)
+        out = dequant_block_gemv(machine, w, a)
+        np.testing.assert_array_equal(
+            out, w.astype(np.int64) @ a.astype(np.int64))
+
+    def test_dot_instruction_count(self, rng):
+        machine = SIMDMachine(NEON)
+        w = rng.integers(-5, 5, size=(4, 32)).astype(np.int8)
+        a = rng.integers(-5, 5, size=32).astype(np.int8)
+        dequant_block_gemv(machine, w, a)
+        assert machine.instruction_counts()[IC.DOT_INT8] == 4 * (32 // 16)
+
+    def test_requires_lane_multiple(self, rng):
+        machine = SIMDMachine(NEON)
+        with pytest.raises(ValueError):
+            dequant_block_gemv(machine, np.zeros((2, 20), dtype=np.int8),
+                               np.zeros(20, dtype=np.int8))

@@ -1,0 +1,142 @@
+"""Unit tests for the closed-form kernel instruction profiles."""
+
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.simd.isa import AVX2, NEON, InstructionCategory as IC
+from repro.simd.profile import (
+    DEQUANT_DECODE_INSTR_PER_WEIGHT,
+    InstructionProfile,
+    profile_dequant_gemm,
+    profile_tmac_gemm,
+)
+
+
+class TestInstructionProfile:
+    def test_add_and_total(self):
+        profile = InstructionProfile()
+        profile.add(IC.LOOKUP, 10)
+        profile.add(IC.LOOKUP, 5)
+        profile.add(IC.ADD_INT16, 3)
+        assert profile.counts[IC.LOOKUP] == 15
+        assert profile.total_instructions() == 18
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            InstructionProfile().add("warp", 1)
+
+    def test_scaled_and_merged(self):
+        a = InstructionProfile(counts={IC.LOOKUP: 10}, dram_read_bytes=100)
+        b = InstructionProfile(counts={IC.LOOKUP: 5, IC.UNPACK: 2},
+                               dram_read_bytes=50,
+                               sequential_weight_access=False)
+        doubled = a.scaled(2)
+        assert doubled.counts[IC.LOOKUP] == 20
+        assert doubled.dram_read_bytes == 200
+        merged = a.merged(b)
+        assert merged.counts[IC.LOOKUP] == 15
+        assert merged.dram_read_bytes == 150
+        assert merged.sequential_weight_access is False
+
+
+class TestTmacProfile:
+    def test_lookup_count_scales_linearly_with_bits(self):
+        counts = {}
+        for bits in (1, 2, 3, 4):
+            profile = profile_tmac_gemm(1, 4096, 4096, TMACConfig(bits=bits))
+            counts[bits] = profile.counts[IC.LOOKUP]
+        assert counts[2] == pytest.approx(2 * counts[1])
+        assert counts[4] == pytest.approx(4 * counts[1])
+        assert counts[3] == pytest.approx(3 * counts[1])
+
+    def test_lookup_count_matches_machine_formula(self):
+        """One lookup instruction per `lanes` indices per bit (validated
+        against the executable SIMD machine's counting in test_machine)."""
+        m, k, bits = 256, 128, 4
+        profile = profile_tmac_gemm(1, m, k, TMACConfig(bits=bits), isa=NEON)
+        expected = bits * (m * k / 4) / 16  # g=4, 16 lanes
+        assert profile.counts[IC.LOOKUP] == pytest.approx(expected)
+
+    def test_fp16_tables_double_the_lookups(self):
+        int8 = profile_tmac_gemm(1, 1024, 1024,
+                                 TMACConfig(bits=4, table_quantization=True))
+        fp16 = profile_tmac_gemm(1, 1024, 1024,
+                                 TMACConfig(bits=4, table_quantization=False))
+        assert fp16.counts[IC.LOOKUP] == pytest.approx(
+            2 * int8.counts[IC.LOOKUP])
+
+    def test_fast_aggregation_uses_int8_adds(self):
+        fast = profile_tmac_gemm(1, 512, 512,
+                                 TMACConfig(bits=4, fast_aggregation=True))
+        exact = profile_tmac_gemm(1, 512, 512, TMACConfig(bits=4))
+        assert IC.ADD_INT8 in fast.counts and IC.ADD_INT8 not in exact.counts
+        assert IC.ADD_INT16 in exact.counts and IC.ADD_INT16 not in fast.counts
+
+    def test_interleaving_removes_shuffles(self):
+        with_il = profile_tmac_gemm(1, 512, 512, TMACConfig(bits=4))
+        without_il = profile_tmac_gemm(
+            1, 512, 512, TMACConfig(bits=4, interleave_weights=False))
+        assert without_il.counts.get(IC.SHUFFLE, 0) > \
+            with_il.counts.get(IC.SHUFFLE, 0)
+
+    def test_layout_flags_propagate(self):
+        profile = profile_tmac_gemm(
+            1, 256, 256,
+            TMACConfig(bits=4, tiling=False, permute_weights=False))
+        assert not profile.tables_in_registers
+        assert not profile.sequential_weight_access
+
+    def test_dram_traffic_scales_with_bits(self):
+        low = profile_tmac_gemm(1, 4096, 4096, TMACConfig(bits=1))
+        high = profile_tmac_gemm(1, 4096, 4096, TMACConfig(bits=4))
+        assert high.dram_read_bytes > 3 * low.dram_read_bytes
+
+    def test_avx2_needs_fewer_lookup_instructions(self):
+        neon = profile_tmac_gemm(1, 1024, 1024, TMACConfig(bits=4), isa=NEON)
+        avx2 = profile_tmac_gemm(1, 1024, 1024, TMACConfig(bits=4), isa=AVX2)
+        assert avx2.counts[IC.LOOKUP] == pytest.approx(
+            neon.counts[IC.LOOKUP] / 2)
+
+    def test_gemm_scales_with_n(self):
+        gemv = profile_tmac_gemm(1, 1024, 1024, TMACConfig(bits=2))
+        gemm = profile_tmac_gemm(256, 1024, 1024, TMACConfig(bits=2))
+        assert gemm.counts[IC.LOOKUP] == pytest.approx(
+            256 * gemv.counts[IC.LOOKUP])
+        # Weights are only streamed from DRAM once regardless of N.
+        assert gemm.dram_read_bytes < 2 * gemv.dram_read_bytes + 256 * 1024 * 4
+
+
+class TestDequantProfile:
+    def test_flat_cost_from_4_to_2_bits(self):
+        """llama.cpp gains nothing from 4->2 bits (paper Section 5.2)."""
+        four = profile_dequant_gemm(1, 4096, 4096, 4)
+        two = profile_dequant_gemm(1, 4096, 4096, 2)
+        ratio = two.total_instructions() / four.total_instructions()
+        assert 0.95 < ratio < 1.25
+
+    def test_3bit_decoding_penalty(self):
+        """3-bit decoding is the most expensive (8 is not divisible by 3)."""
+        assert DEQUANT_DECODE_INSTR_PER_WEIGHT[3] > \
+            DEQUANT_DECODE_INSTR_PER_WEIGHT[4]
+        assert DEQUANT_DECODE_INSTR_PER_WEIGHT[3] > \
+            DEQUANT_DECODE_INSTR_PER_WEIGHT[2]
+
+    def test_one_bit_deduced_from_two_bit(self):
+        assert DEQUANT_DECODE_INSTR_PER_WEIGHT[1] == \
+            DEQUANT_DECODE_INSTR_PER_WEIGHT[2]
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            profile_dequant_gemm(1, 128, 128, 5)
+
+    def test_tmac_needs_fewer_instructions_than_dequant(self):
+        """The core claim: LUT mpGEMV retires far fewer instructions."""
+        for bits in (1, 2, 3, 4):
+            tmac = profile_tmac_gemm(1, 4096, 4096, TMACConfig(bits=bits))
+            dequant = profile_dequant_gemm(1, 4096, 4096, bits)
+            assert tmac.total_instructions() < dequant.total_instructions()
+
+    def test_dequant_traffic_scales_with_bits(self):
+        low = profile_dequant_gemm(1, 4096, 4096, 2)
+        high = profile_dequant_gemm(1, 4096, 4096, 4)
+        assert high.dram_read_bytes > 1.5 * low.dram_read_bytes

@@ -1,0 +1,61 @@
+"""Unit tests for the tile-configuration search."""
+
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.core.tiling import tmac_register_footprint
+from repro.hardware import JETSON_AGX_ORIN, M2_ULTRA, SURFACE_BOOK_3
+from repro.simd.isa import AVX2, NEON
+from repro.tuning import Tuner, candidate_tile_configs
+
+
+class TestSearchSpace:
+    def test_candidates_fit_register_file(self):
+        for isa in (NEON, AVX2):
+            register_bytes = isa.num_registers * isa.width_bits // 8
+            for tile in candidate_tile_configs(isa, bits=4):
+                footprint = tmac_register_footprint(
+                    m_tm=tile.m_tm, k_tk=tile.k_tk, g=4,
+                    table_quantization=True, mirror_consolidation=True,
+                    lanes=isa.lanes_int8)
+                assert footprint.total_bytes <= register_bytes
+
+    def test_reduction_tiles_are_group_multiples(self):
+        for tile in candidate_tile_configs(NEON, bits=2, g=4):
+            assert tile.k_tk % 4 == 0
+
+    def test_avx2_has_fewer_feasible_configs(self):
+        """AVX2's 16-register file admits fewer resident-LUT configurations."""
+        neon = candidate_tile_configs(NEON, bits=4)
+        avx2 = candidate_tile_configs(AVX2, bits=4)
+        assert len(avx2) <= len(neon)
+
+    def test_candidate_cap(self):
+        assert len(candidate_tile_configs(NEON, bits=4, max_candidates=3)) <= 3
+
+    def test_gemm_candidates_include_multirow_tiles(self):
+        tiles = candidate_tile_configs(NEON, bits=4, n=256)
+        assert any(t.n_tn > 1 for t in tiles)
+
+
+class TestTuner:
+    @pytest.mark.parametrize("device", [M2_ULTRA, SURFACE_BOOK_3,
+                                        JETSON_AGX_ORIN])
+    def test_best_is_no_worse_than_default(self, device):
+        result = Tuner(device).tune(4096, 4096, TMACConfig(bits=4))
+        assert result.best_latency_seconds <= result.default_latency_seconds
+        assert result.improvement >= 1.0
+
+    def test_records_cover_all_candidates(self):
+        tuner = Tuner(M2_ULTRA)
+        result = tuner.tune(1024, 1024, TMACConfig(bits=2), max_candidates=10)
+        assert 1 <= len(result.records) <= 10
+        best = min(r.latency_seconds for r in result.records)
+        assert result.best_latency_seconds == pytest.approx(best)
+
+    def test_gemm_tuning_prefers_larger_reduction_tiles(self):
+        """For mpGEMM the partial-sum traffic rewards deeper K tiles."""
+        result = Tuner(M2_ULTRA).tune(4096, 4096, TMACConfig(bits=4), n=256)
+        small_k = [r for r in result.records if r.tile_config.k_tk == 4]
+        if small_k:
+            assert result.best_config.k_tk > 4

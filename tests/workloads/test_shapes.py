@@ -1,0 +1,73 @@
+"""Unit tests for the benchmark shapes and generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    gaussian_activation,
+    gaussian_weights,
+    make_gemv_case,
+)
+from repro.workloads.shapes import (
+    GEMM_SEQUENCE_LENGTH,
+    KERNEL_SHAPES,
+    kernel_shape,
+    shapes_for_model,
+)
+
+
+class TestKernelShapes:
+    def test_six_shapes_from_figure6(self):
+        assert len(KERNEL_SHAPES) == 6
+        assert [s.label for s in KERNEL_SHAPES] == ["S0", "S1", "S2", "S3",
+                                                    "S4", "S5"]
+
+    def test_shape_values_match_paper(self):
+        assert (kernel_shape("S0").m, kernel_shape("S0").k) == (4096, 4096)
+        assert (kernel_shape("S1").m, kernel_shape("S1").k) == (11008, 4096)
+        assert (kernel_shape("S2").m, kernel_shape("S2").k) == (4096, 11008)
+        assert (kernel_shape("S3").m, kernel_shape("S3").k) == (5120, 5120)
+        assert (kernel_shape("S4").m, kernel_shape("S4").k) == (13824, 5120)
+        assert (kernel_shape("S5").m, kernel_shape("S5").k) == (5120, 13824)
+
+    def test_sources(self):
+        assert len(shapes_for_model("Llama-2-7B")) == 3
+        assert len(shapes_for_model("Llama-2-13B")) == 3
+        with pytest.raises(KeyError):
+            shapes_for_model("GPT-4")
+
+    def test_gemm_variant(self):
+        shape = kernel_shape("S0").with_n(GEMM_SEQUENCE_LENGTH)
+        assert shape.n == 256
+        assert str(shape) == "4096x4096x256"
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            kernel_shape("S9")
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(gaussian_weights(4, 8, seed=1),
+                                      gaussian_weights(4, 8, seed=1))
+        assert not np.array_equal(gaussian_weights(4, 8, seed=1),
+                                  gaussian_weights(4, 8, seed=2))
+
+    def test_statistics(self):
+        w = gaussian_weights(64, 256, seed=0, scale=2.0)
+        assert abs(float(w.mean())) < 0.1
+        assert float(w.std()) == pytest.approx(2.0, rel=0.05)
+
+    def test_gemv_case_consistency(self):
+        case = make_gemv_case(32, 96, bits=3, group_size=128)
+        # 128 does not divide 96 -> shrunk group size still divides K.
+        assert 96 % case.group_size == 0
+        assert case.qweight.bits == 3
+        assert case.reference.shape == (1, 32)
+        np.testing.assert_allclose(
+            case.reference,
+            case.activation.astype(np.float64) @ case.weights.T, rtol=1e-5)
+
+    def test_activation_shape(self):
+        a = gaussian_activation(5, 16, seed=3)
+        assert a.shape == (5, 16)
