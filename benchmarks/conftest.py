@@ -42,9 +42,13 @@ def write_result(name: str, title: str, content: str) -> str:
     return path
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def record_table():
-    """Fixture returning a helper that formats and persists a result table."""
+    """Fixture returning a helper that formats and persists a result table.
+
+    Session-scoped (the helper is stateless) so module-scoped fixtures that
+    accumulate rows across parametrized tests can depend on it too.
+    """
 
     def _record(name: str, title: str, headers: Sequence[str],
                 rows: List[Sequence]) -> str:

@@ -37,6 +37,14 @@ def test_bench_tmac_gemv(benchmark, case):
     assert result.shape == (1, M)
 
 
+def test_bench_tmac_gemv_loop_executor(benchmark, case):
+    """The seed per-group/per-bit loop path, kept as the reference executor."""
+    _, activation, qweight = case
+    kernel = TMACKernel(qweight, TMACConfig(bits=4, executor="loop"))
+    result = benchmark(kernel.matmul, activation)
+    assert result.shape == (1, M)
+
+
 def test_bench_tmac_gemv_fast_aggregation(benchmark, case):
     _, activation, qweight = case
     kernel = TMACKernel(qweight, TMACConfig(bits=4, fast_aggregation=True))

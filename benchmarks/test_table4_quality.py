@@ -25,7 +25,7 @@ from repro.eval.perplexity import evaluate_engines
 from repro.eval.tasks import make_binary_choice_task, make_lm_task
 from repro.hardware import M2_ULTRA
 from repro.llm import LLAMA_2_7B, estimate_token_throughput, tiny_arch
-from repro.llm.engine import create_engine
+from repro.backends import get_backend
 from repro.llm.model import TransformerModel, generate_random_weights
 
 HEADERS = ["framework", "tokens/s (M2-Ultra, 1 thread)",
@@ -54,10 +54,10 @@ def quality_results():
                            temperature=0.5)
     winogrande = make_binary_choice_task(teacher, num_items=12, seed=3)
     engines = [
-        create_engine("reference"),
-        create_engine("dequant", bits=4, group_size=32),
-        create_engine("tmac", bits=4, group_size=32),
-        create_engine("tmac", bits=4, group_size=32, fast_aggregation=True),
+        get_backend("reference"),
+        get_backend("dequant", bits=4, group_size=32),
+        get_backend("tmac", bits=4, group_size=32),
+        get_backend("tmac", bits=4, group_size=32, fast_aggregation=True),
     ]
     results = evaluate_engines(arch, engines, wikitext, winogrande,
                                weights=weights, extra_lm_tasks=[lambada])

@@ -16,12 +16,12 @@ Run with:  python examples/bitnet_on_raspberry_pi.py
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.hardware import M2_ULTRA, RASPBERRY_PI_5
 from repro.llm import (
     BITNET_3B,
     Generator,
     TransformerModel,
-    create_engine,
     estimate_token_throughput,
     tiny_arch,
 )
@@ -35,9 +35,9 @@ def numerical_demo():
     weights = generate_random_weights(arch, seed=42)
 
     engines = {
-        "llama.cpp (dequant)": create_engine("dequant", bitnet=True,
-                                             group_size=32),
-        "T-MAC (LUT)": create_engine("tmac", bitnet=True, group_size=32),
+        "llama.cpp (dequant)": get_backend("dequant", bitnet=True,
+                                           group_size=32),
+        "T-MAC (LUT)": get_backend("tmac", bitnet=True, group_size=32),
     }
     prompt = [11, 7, 42, 3]
     generations = {}

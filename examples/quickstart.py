@@ -10,7 +10,8 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import TMACConfig, TMACKernel, quantize_weights, tmac_gemm
+from repro import TMACConfig, TMACKernel, plan_cache_stats, quantize_weights, \
+    tmac_gemm
 from repro.baselines.reference import reference_gemm
 
 
@@ -29,6 +30,13 @@ def main():
     nmse = float(np.mean((output - reference) ** 2) / np.mean(reference ** 2))
     print(f"one-shot tmac_gemm: output shape {output.shape}, "
           f"NMSE vs fp32 reference = {nmse:.2e} (2-bit quantization error)")
+
+    # A second call against the same weights reuses the cached kernel plan —
+    # the offline preprocessing (bit planes, packing, permutation) runs once.
+    tmac_gemm(activation, weights, bits=2, group_size=128)
+    stats = plan_cache_stats()
+    print(f"plan cache after a repeated call: {stats['hits']} hit(s), "
+          f"{stats['misses']} miss(es)")
 
     # --- Reusable kernel (the normal inference path) ---------------------
     # Offline: quantize once, preprocess the weights once.

@@ -1,0 +1,70 @@
+"""Serving demo: continuous batching over concurrent generation requests.
+
+Builds a small transformer on the T-MAC backend, submits a burst of
+requests with different prompts and generation budgets, and drives the
+continuous-batching scheduler until every request completes — printing the
+per-step batch composition and the cache/batching statistics at the end.
+The same requests are then replayed one at a time to show that batching
+does not change a single token.
+
+Run with:  python examples/serving_demo.py
+"""
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.core.plan import plan_cache_stats
+from repro.llm import Generator, TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.serving import ServingEngine
+
+
+def main():
+    arch = tiny_arch(hidden_size=96, intermediate_size=192, num_layers=2,
+                     num_heads=4, vocab_size=211, max_seq_len=96)
+    weights = generate_random_weights(arch, seed=7)
+    model = TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+
+    engine = ServingEngine(model, max_batch_size=4)
+    rng = np.random.default_rng(0)
+    requests = []
+    for i in range(8):
+        prompt = rng.integers(1, arch.vocab_size, size=2 + i % 3).tolist()
+        budget = 4 + 2 * (i % 4)
+        requests.append((engine.submit(prompt, max_new_tokens=budget),
+                         prompt, budget))
+
+    print(f"submitted {len(requests)} requests "
+          f"(max_batch_size={engine.max_batch_size})\n")
+    step = 0
+    while engine.has_work:
+        summary = engine.step()
+        step += 1
+        print(f"step {step:>2}: batch={summary['batch_size']} "
+              f"active={summary['active']} waiting={summary['waiting']}")
+    results = engine.results()
+
+    print("\ngenerations (batched == sequential replay):")
+    generator = Generator(TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights))
+    for session_id, prompt, budget in requests:
+        batched = results[session_id].generated_tokens
+        sequential = generator.generate(
+            prompt, max_new_tokens=budget).generated_tokens
+        marker = "OK " if batched == sequential else "DIFF"
+        print(f"  [{marker}] session {session_id}: prompt {prompt} -> {batched}")
+
+    stats = engine.serving_stats()
+    print(f"\nbatched decode steps: {stats['decode_steps']}, "
+          f"mean batch size {stats['mean_batch_size']:.1f}")
+    print(f"LUT precomputes saved by per-step sharing: {stats['lut_reuses']}")
+    cache = plan_cache_stats()
+    print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(sequential-replay model rebind hit the cache)")
+
+
+if __name__ == "__main__":
+    main()

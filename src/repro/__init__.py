@@ -9,13 +9,29 @@ The package is organised as a set of subsystems:
     precomputation, mirror consolidation, table quantization, LUT-centric
     data layout (tiling, permutation, interleaving) and fast aggregation.
 
+    The kernel is split into an offline :class:`~repro.core.plan.KernelPlan`
+    (content-addressed, memoized in a process-wide plan cache) and online
+    executors (vectorized by default, with the loop-based reference
+    selectable via ``TMACConfig(executor="loop")``).
+
 ``repro.quant``
     Weight/activation quantization substrate (uniform 1-4 bit, BitNet
     ternary, int8 dynamic activation quantization).
 
+``repro.backends``
+    The backend registry: reference, llama.cpp-style dequantization and
+    T-MAC numeric backends plus BLAS/GPU/NPU cost-model backends behind one
+    ``register_backend`` / ``get_backend`` interface.
+
 ``repro.baselines``
     Reference and dequantization-based (llama.cpp-style) kernels, plus BLAS,
-    GPU and NPU cost baselines.
+    GPU and NPU cost baselines (wrapped by ``repro.backends``).
+
+``repro.serving``
+    Production-style serving on the numerical path: per-request
+    :class:`~repro.serving.session.InferenceSession` state and a
+    continuous-batching :class:`~repro.serving.engine.ServingEngine` that
+    coalesces concurrent decode steps into one batched mpGEMM per layer.
 
 ``repro.simd``
     A SIMD instruction-counting machine that executes the T-MAC and the
@@ -35,19 +51,36 @@ The package is organised as a set of subsystems:
     shapes used throughout the paper's evaluation.
 """
 
+from repro.backends import get_backend, list_backends, register_backend
 from repro.core.config import TMACConfig
 from repro.core.gemm import tmac_gemm, tmac_gemv
 from repro.core.kernel import TMACKernel
+from repro.core.plan import (
+    KernelPlan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+)
 from repro.quant.uniform import QuantizedWeight, quantize_weights
+from repro.serving import InferenceSession, ServingEngine
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "TMACConfig",
     "TMACKernel",
+    "KernelPlan",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
     "tmac_gemm",
     "tmac_gemv",
     "QuantizedWeight",
     "quantize_weights",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "ServingEngine",
+    "InferenceSession",
     "__version__",
 ]

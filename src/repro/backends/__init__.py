@@ -1,0 +1,68 @@
+"""Pluggable mpGEMM backends behind a uniform registry.
+
+Every execution target the paper compares lives here behind one interface:
+
+========== ============ ==========================================================
+name       kind         implementation
+========== ============ ==========================================================
+reference  numeric      fp32 matmul, no quantization ("Un-quantized")
+llama.cpp  numeric      dequantization-based kernel (aliases: dequant, llamacpp)
+T-MAC      numeric      LUT-based kernel, plan-cached (aliases: tmac, t-mac)
+tmac-fa    numeric      T-MAC with lossy fast aggregation ("+FA")
+blas       cost-model   dequantize-then-BLAS prefill roofline (Figure 7)
+gpu        cost-model   llama.cpp CUDA/OpenCL roofline (Figure 11, Tables 5/7)
+npu        cost-model   vendor-published NPU throughput (Table 7)
+========== ============ ==========================================================
+
+Resolve by name with :func:`get_backend`; add new kernels with
+:func:`register_backend`.  The transformer substrate (:mod:`repro.llm`),
+the serving engine (:mod:`repro.serving`), examples and benchmarks all go
+through this registry.
+"""
+
+from repro.backends.base import Backend, LinearOperator, pick_group_size
+from repro.backends.cost import BLASBackend, GPUBackend, NPUBackend
+from repro.backends.dequant import DequantBackend
+from repro.backends.reference import ReferenceBackend
+from repro.backends.registry import (
+    UnknownBackendError,
+    backend_aliases,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.backends.tmac import TMACBackend
+
+__all__ = [
+    "Backend",
+    "LinearOperator",
+    "pick_group_size",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "backend_aliases",
+    "UnknownBackendError",
+    "ReferenceBackend",
+    "DequantBackend",
+    "TMACBackend",
+    "BLASBackend",
+    "GPUBackend",
+    "NPUBackend",
+]
+
+
+def _tmac_fa_factory(**kwargs) -> TMACBackend:
+    kwargs["fast_aggregation"] = True
+    return TMACBackend(**kwargs)
+
+
+register_backend("reference", ReferenceBackend,
+                 aliases=("fp", "unquantized"))
+register_backend("llama.cpp", DequantBackend,
+                 aliases=("dequant", "llamacpp"))
+register_backend("tmac", TMACBackend, aliases=("t-mac", "T-MAC"))
+register_backend("tmac-fa", _tmac_fa_factory,
+                 aliases=("t-mac+fa", "tmac+fa"))
+register_backend("blas", BLASBackend)
+register_backend("gpu", GPUBackend)
+register_backend("npu", NPUBackend)

@@ -1,0 +1,70 @@
+"""Cost-model backends: BLAS, GPU and NPU latency/throughput estimators.
+
+These backends do not execute matrices numerically — they wrap the paper's
+roofline and vendor-number models (:mod:`repro.baselines`) behind the same
+registry interface as the numeric backends, so benchmark and throughput
+code can enumerate every execution target uniformly by name.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend
+from repro.baselines.blas_gemm import blas_gemm_latency
+from repro.baselines.gpu import gpu_gemm_latency, gpu_token_latency
+from repro.baselines.npu import npu_tokens_per_sec
+
+__all__ = ["BLASBackend", "GPUBackend", "NPUBackend"]
+
+
+class BLASBackend(Backend):
+    """llama.cpp (BLAS) prefill path: dequantize then platform BLAS (Fig. 7)."""
+
+    name = "blas"
+    kind = "cost-model"
+
+    def __init__(self, group_size: int = 128, **_ignored):
+        self.group_size = group_size
+
+    def estimate_latency(self, device, n, m, k, bits, threads=None, **kwargs):
+        """Modeled :class:`~repro.hardware.cost_model.KernelLatency`."""
+        return blas_gemm_latency(
+            device, n, m, k, bits, threads=threads,
+            group_size=kwargs.get("group_size", self.group_size),
+        )
+
+
+class GPUBackend(Backend):
+    """llama.cpp CUDA/OpenCL backend cost model (Fig. 11, Tables 5/7)."""
+
+    name = "gpu"
+    kind = "cost-model"
+
+    def __init__(self, group_size: int = 128, **_ignored):
+        self.group_size = group_size
+
+    def estimate_latency(self, device, n, m, k, bits, **kwargs):
+        """Modeled :class:`~repro.hardware.cost_model.KernelLatency`."""
+        return gpu_gemm_latency(
+            device, n, m, k, bits,
+            group_size=kwargs.get("group_size", self.group_size),
+        )
+
+    def token_latency(self, device, weight_bytes_total, num_kernels,
+                      flops_per_token, bits=4):
+        """Seconds per generated token (end-to-end GPU model)."""
+        return gpu_token_latency(device, weight_bytes_total, num_kernels,
+                                 flops_per_token, bits=bits)
+
+
+class NPUBackend(Backend):
+    """NPU throughput from vendor-published numbers (Table 7)."""
+
+    name = "npu"
+    kind = "cost-model"
+
+    def __init__(self, **_ignored):
+        pass
+
+    def tokens_per_sec(self, device, model_name, bits=4):
+        """Published tokens/s (``None`` when the device has no number)."""
+        return npu_tokens_per_sec(device, model_name, bits=bits)

@@ -1,0 +1,48 @@
+"""llama.cpp-style dequantization backend."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, LinearOperator, pick_group_size
+from repro.baselines.dequant_gemm import DequantGEMM
+from repro.quant.bitnet import quantize_bitnet
+from repro.quant.uniform import quantize_weights
+
+__all__ = ["DequantBackend"]
+
+
+class DequantBackend(Backend):
+    """llama.cpp-style backend: quantize weights, dequantization-based kernel."""
+
+    name = "llama.cpp"
+
+    def __init__(self, bits: int = 4, group_size: int = 128,
+                 act_block_size: int = 32, bitnet: bool = False, **_ignored):
+        self.bits = bits
+        self.group_size = group_size
+        self.act_block_size = act_block_size
+        self.bitnet = bitnet
+
+    def make_linear(self, weight: np.ndarray, name: str = "linear") -> LinearOperator:
+        w = np.asarray(weight, dtype=np.float32)
+        group = pick_group_size(w.shape[1], self.group_size)
+        if self.bitnet:
+            qw = quantize_bitnet(w, group_size=group)
+        else:
+            qw = quantize_weights(w, bits=self.bits, group_size=group)
+        act_block = min(self.act_block_size, group)
+        kernel = DequantGEMM(qw, act_block_size=act_block)
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            return kernel.matmul(x)
+
+        return LinearOperator(
+            name=name,
+            out_features=w.shape[0],
+            in_features=w.shape[1],
+            forward=forward,
+            engine_name=self.name,
+            weight_bytes=qw.memory_bytes(),
+            kernel=kernel,
+        )

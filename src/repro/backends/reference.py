@@ -1,0 +1,43 @@
+"""Full-precision reference backend ("Un-quantized" in Table 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, LinearOperator
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(Backend):
+    """Full-precision backend: no quantization, plain fp32 matmul.
+
+    Weights are stored (and executed) in float32, so the reported
+    ``weight_bytes`` is 4 bytes per element.  The paper's "un-quantized"
+    deployments ship fp16 checkpoints, but this numerical reference keeps
+    fp32 to stay bit-exact with numpy's default matmul — the fp16 footprint
+    comparison lives in the analytic path
+    (:meth:`repro.llm.architecture.TransformerArch.weight_bytes`).
+    """
+
+    name = "reference"
+
+    def __init__(self, **_ignored):
+        # Accepts (and ignores) the uniform quantization kwargs so the
+        # registry can forward one call signature to every backend.
+        pass
+
+    def make_linear(self, weight: np.ndarray, name: str = "linear") -> LinearOperator:
+        w = np.asarray(weight, dtype=np.float32)
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            return np.asarray(x, dtype=np.float32) @ w.T
+
+        return LinearOperator(
+            name=name,
+            out_features=w.shape[0],
+            in_features=w.shape[1],
+            forward=forward,
+            engine_name=self.name,
+            weight_bytes=w.size * w.dtype.itemsize,
+        )

@@ -1,0 +1,105 @@
+"""The backend registry: name -> factory, with aliases.
+
+Backends self-register at import time (see :mod:`repro.backends`); callers
+resolve them by name::
+
+    from repro.backends import get_backend
+    engine = get_backend("tmac", bits=2, group_size=64)
+
+Registration is open — downstream code can plug in new kernels without
+touching this package::
+
+    from repro.backends import Backend, register_backend
+
+    @register_backend("my-kernel", aliases=("mk",))
+    class MyBackend(Backend):
+        ...
+
+Names and aliases are case-insensitive.  Unknown names raise
+:class:`UnknownBackendError` (a ``ValueError``) listing what is available.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.backends.base import Backend
+
+__all__ = [
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "backend_aliases",
+    "UnknownBackendError",
+]
+
+
+class UnknownBackendError(ValueError):
+    """Raised when a backend name resolves to nothing in the registry."""
+
+
+#: canonical name -> factory (callable returning a Backend)
+_FACTORIES: Dict[str, Callable[..., Backend]] = {}
+#: any accepted name (canonical or alias, lowercased) -> canonical name
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend] = None, *,
+                     aliases=(), overwrite: bool = False):
+    """Register a backend factory under ``name`` (plus optional aliases).
+
+    Usable directly (``register_backend("x", SomeBackend)``) or as a class /
+    function decorator.  ``factory`` is any callable returning a
+    :class:`Backend`; keyword arguments given to :func:`get_backend` are
+    forwarded to it.
+    """
+
+    def _register(fac: Callable[..., Backend]) -> Callable[..., Backend]:
+        key = name.lower()
+        if not overwrite and key in _FACTORIES:
+            raise ValueError(f"backend {name!r} is already registered")
+        _FACTORIES[key] = fac
+        _ALIASES[key] = key
+        for alias in aliases:
+            alias_key = alias.lower()
+            existing = _ALIASES.get(alias_key)
+            if not overwrite and existing is not None and existing != key:
+                raise ValueError(
+                    f"alias {alias!r} already points at backend {existing!r}"
+                )
+            _ALIASES[alias_key] = key
+        return fac
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def get_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a registered backend by (case-insensitive) name or alias.
+
+    Keyword arguments are forwarded to the backend factory; factories ignore
+    the common quantization kwargs (``bits``, ``group_size``, ...) they do
+    not use, so one call signature works uniformly across backends.
+    """
+    canonical = _ALIASES.get(str(name).lower())
+    if canonical is None:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered: {list_backends()}"
+        )
+    return _FACTORIES[canonical](**kwargs)
+
+
+def list_backends() -> List[str]:
+    """Sorted canonical names of all registered backends."""
+    return sorted(_FACTORIES)
+
+
+def backend_aliases(name: str) -> List[str]:
+    """All accepted spellings (aliases) resolving to backend ``name``."""
+    canonical = _ALIASES.get(str(name).lower())
+    if canonical is None:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered: {list_backends()}"
+        )
+    return sorted(k for k, v in _ALIASES.items() if v == canonical)

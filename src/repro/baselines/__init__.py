@@ -16,6 +16,10 @@ Everything T-MAC is compared against in the paper lives here:
   model (Figure 11, Tables 5 and 7).
 * :mod:`repro.baselines.npu` — NPU throughput from vendor-published numbers
   (Table 7).
+
+These modules are the raw implementations; uniform access for model/serving
+code goes through the backend registry (:mod:`repro.backends`), which wraps
+them as the ``llama.cpp``, ``blas``, ``gpu`` and ``npu`` backends.
 """
 
 from repro.baselines.blas_gemm import blas_gemm_latency

@@ -17,15 +17,41 @@ footprints, working sets) consumed by the SIMD and cost models, and
 from repro.core.aggregation import exact_aggregate, fast_aggregate
 from repro.core.bitserial import BitSerialTransform, compose_bits, decompose_bits
 from repro.core.config import TMACConfig, ablation_stages
+from repro.core.executor import (
+    KernelExecutor,
+    LoopExecutor,
+    VectorizedExecutor,
+    get_executor,
+    list_executors,
+)
 from repro.core.gemm import tmac_gemm, tmac_gemv
 from repro.core.kernel import TMACKernel
 from repro.core.lut import LookupTable, build_lut, lookup, precompute_lut
+from repro.core.plan import (
+    KernelPlan,
+    build_plan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+    weight_fingerprint,
+)
 from repro.core.tiling import TileConfig, default_tile_config
 from repro.core.weights import PreprocessedWeights, preprocess_weights
 
 __all__ = [
     "TMACConfig",
     "TMACKernel",
+    "KernelPlan",
+    "KernelExecutor",
+    "LoopExecutor",
+    "VectorizedExecutor",
+    "build_plan",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "weight_fingerprint",
+    "get_executor",
+    "list_executors",
     "TileConfig",
     "LookupTable",
     "PreprocessedWeights",

@@ -66,6 +66,12 @@ class TMACConfig:
     tile_config:
         Explicit tile configuration; ``None`` lets the kernel (or the tuner)
         pick a default for the target device.
+    executor:
+        Online executor used by :class:`~repro.core.kernel.TMACKernel`:
+        ``"vectorized"`` (default — batched numpy across quantization groups
+        and bit planes) or ``"loop"`` (the reference per-group/per-bit
+        Python loops, kept as the numerical oracle).  Both compute the same
+        result; see :mod:`repro.core.executor`.
     """
 
     bits: int = 4
@@ -82,6 +88,7 @@ class TMACConfig:
     interleave_weights: bool = True
     tuned: bool = False
     tile_config: Optional[TileConfig] = None
+    executor: str = "vectorized"
     name: str = "T-MAC"
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -106,6 +113,15 @@ class TMACConfig:
             )
         if self.s0 == self.s1:
             raise ValueError("s0 and s1 must differ")
+        # Imported lazily: repro.core.executor imports this module.  The
+        # executor registry is the single source of valid names.
+        from repro.core.executor import list_executors
+
+        if self.executor not in list_executors():
+            raise ValueError(
+                f"executor must be one of {list_executors()}, "
+                f"got {self.executor!r}"
+            )
 
     @property
     def table_length(self) -> int:

@@ -1,10 +1,17 @@
 """High-level functional API for T-MAC mixed-precision GEMM/GEMV.
 
 These helpers wrap :class:`~repro.core.kernel.TMACKernel` for one-shot use.
-For repeated multiplications against the same weights (the normal inference
-case), construct a :class:`TMACKernel` once — its offline weight
-preprocessing is then amortized across calls, exactly as in the paper's
-deployment (weights are permuted/interleaved once, offline).
+Kernel construction is memoized through the process-wide plan cache
+(:mod:`repro.core.plan`): repeated calls against the same weights — whether
+the same :class:`~repro.quant.uniform.QuantizedWeight` object or an equal
+one rebuilt elsewhere — reuse the offline preprocessing (bit-plane
+decomposition, grouping, packing, permutation, interleaving) instead of
+re-running it, exactly as in the paper's deployment where weights are
+prepared once, offline.
+
+For tight inner loops, constructing a :class:`TMACKernel` once (or via
+:func:`repro.core.plan.get_plan`) still saves the cache lookup and the
+weight fingerprint hash.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import numpy as np
 
 from repro.core.config import TMACConfig
 from repro.core.kernel import TMACKernel
+from repro.core.plan import get_plan
 from repro.quant.uniform import QuantizedWeight, quantize_weights
 
 __all__ = ["tmac_gemm", "tmac_gemv"]
@@ -55,7 +63,8 @@ def tmac_gemm(
     """
     qweight = _as_quantized(weights, bits, group_size)
     cfg = config or TMACConfig(bits=qweight.bits)
-    kernel = TMACKernel(qweight, cfg)
+    plan = get_plan(qweight, cfg)
+    kernel = TMACKernel.from_plan(plan, cfg)
     return kernel.matmul(activation)
 
 

@@ -1,20 +1,27 @@
 """The T-MAC mpGEMM/mpGEMV kernel (Algorithm 1, online stage).
 
-:class:`TMACKernel` binds a quantized weight matrix (prepared offline by
-:func:`repro.core.weights.preprocess_weights`) to a kernel configuration and
-executes mixed-precision matrix multiplication as
+:class:`TMACKernel` binds an offline :class:`~repro.core.plan.KernelPlan`
+(preprocessed weights, tile plan, bit-serial transform — built once,
+content-addressed and cacheable) to an online *executor*
+(:mod:`repro.core.executor`) and executes mixed-precision matrix
+multiplication as
 
 1. **Precompute** — build the per-activation-group lookup tables
    (:func:`repro.core.lut.precompute_lut`), with mirror consolidation and
    table quantization as configured.
-2. **Lookup** — for every weight bit plane and every quantization group,
-   gather the precomputed partial sums addressed by the ``g``-bit weight
-   indices.
+2. **Lookup** — for every weight bit plane, gather the precomputed partial
+   sums addressed by the ``g``-bit weight indices.
 3. **Aggregate** — sum the looked-up values along the reduction axis, either
    exactly or with the lossy fast 8-bit aggregation.
 4. **Bit-serial aggregation** — recombine the per-bit results with powers of
    two and the activation row-sum correction, then apply the weight
    quantization scales and zero points.
+
+Steps 2-4 live in the executor: the default ``"vectorized"`` executor runs
+them as batched numpy operations across all quantization groups and bit
+planes at once; the ``"loop"`` executor keeps the seed implementation's
+explicit per-group/per-bit loops as a numerical reference (select it with
+``TMACConfig(executor="loop")``).
 
 The kernel is a faithful numerical implementation: its output differs from
 ``A @ dequantize(W)^T`` only by the error sources the paper quantifies
@@ -27,12 +34,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.aggregation import exact_aggregate, fast_aggregate
-from repro.core.bitserial import BitSerialTransform
 from repro.core.config import TMACConfig
-from repro.core.lut import LookupTable, lookup, precompute_lut
+from repro.core.executor import KernelExecutor, get_executor
+from repro.core.lut import LookupTable
+from repro.core.plan import KernelPlan, build_plan
 from repro.core.tiling import TileConfig
-from repro.core.weights import PreprocessedWeights, preprocess_weights
 from repro.quant.uniform import QuantizedWeight
 
 __all__ = ["TMACKernel"]
@@ -45,11 +51,18 @@ class TMACKernel:
     ----------
     qweight:
         The quantized weight matrix (codes + per-group scales/zeros).
+        Ignored when ``plan`` is given.
     config:
-        Kernel configuration.  ``config.bits`` must equal ``qweight.bits``.
+        Kernel configuration.  ``config.bits`` must equal the weight bit
+        width.  ``config.executor`` selects the online executor.
     tile_config:
         Optional explicit tile configuration (otherwise taken from the
         config or defaulted).
+    plan:
+        An already-built (typically cached) :class:`KernelPlan` to bind
+        instead of running offline preprocessing — the path used by the
+        plan cache (:func:`repro.core.plan.get_plan`), the T-MAC backend
+        and the serving engine.
 
     Examples
     --------
@@ -67,39 +80,82 @@ class TMACKernel:
 
     def __init__(
         self,
-        qweight: QuantizedWeight,
+        qweight: Optional[QuantizedWeight] = None,
         config: Optional[TMACConfig] = None,
         tile_config: Optional[TileConfig] = None,
+        plan: Optional[KernelPlan] = None,
     ):
-        self.config = config or TMACConfig(bits=qweight.bits)
-        if self.config.bits != qweight.bits:
-            raise ValueError(
-                f"config.bits={self.config.bits} != qweight.bits={qweight.bits}"
-            )
-        self.transform = BitSerialTransform(self.config.s0, self.config.s1)
-        self.weights: PreprocessedWeights = preprocess_weights(
-            qweight, self.config, tile_config
-        )
-        self._groups_per_qgroup = self.weights.group_size // self.config.g
+        if plan is None:
+            if qweight is None:
+                raise ValueError("either qweight or plan must be provided")
+            self.config = config or TMACConfig(bits=qweight.bits)
+            if self.config.bits != qweight.bits:
+                raise ValueError(
+                    f"config.bits={self.config.bits} != qweight.bits={qweight.bits}"
+                )
+            plan = build_plan(qweight, self.config, tile_config)
+        else:
+            self.config = config or plan.config
+            if tile_config is not None and (
+                tile_config.m_tm, tile_config.k_tk
+            ) != (plan.weights.tile_config.m_tm, plan.weights.tile_config.k_tk):
+                raise ValueError(
+                    f"tile_config [{tile_config.m_tm}, {tile_config.k_tk}] "
+                    f"conflicts with the plan's "
+                    f"[{plan.weights.tile_config.m_tm}, "
+                    f"{plan.weights.tile_config.k_tk}]"
+                )
+            if self.config.bits != plan.bits:
+                raise ValueError(
+                    f"config.bits={self.config.bits} != plan.bits={plan.bits}"
+                )
+            if not plan.compatible_with(self.config):
+                raise ValueError(
+                    "plan layout is incompatible with the given config "
+                    "(bits/g/s0/s1/permutation/interleaving/tiling must match)"
+                )
+        self.plan = plan
+        self.executor: KernelExecutor = get_executor(self.config.executor)
+
+    @classmethod
+    def from_plan(
+        cls, plan: KernelPlan, config: Optional[TMACConfig] = None
+    ) -> "TMACKernel":
+        """Bind a (cached) plan without re-running offline preprocessing."""
+        return cls(plan=plan, config=config)
 
     # ------------------------------------------------------------------ #
     # Shape properties
     # ------------------------------------------------------------------ #
 
     @property
+    def weights(self):
+        """The preprocessed weight operand (offline artifacts)."""
+        return self.plan.weights
+
+    @property
+    def transform(self):
+        """The bit-serial transform of the plan."""
+        return self.plan.transform
+
+    @property
     def out_features(self) -> int:
         """M — rows of the weight matrix / output width."""
-        return self.weights.out_features
+        return self.plan.out_features
 
     @property
     def in_features(self) -> int:
         """K — reduction dimension."""
-        return self.weights.in_features
+        return self.plan.in_features
 
     @property
     def bits(self) -> int:
         """Weight bit width."""
         return self.config.bits
+
+    @property
+    def _groups_per_qgroup(self) -> int:
+        return self.plan.groups_per_qgroup
 
     # ------------------------------------------------------------------ #
     # Online stage
@@ -108,20 +164,7 @@ class TMACKernel:
     def precompute(self, activation: np.ndarray) -> LookupTable:
         """Build the lookup tables for an activation matrix (online stage)."""
         a = self._check_activation(activation)
-        scale_block = (
-            self._groups_per_qgroup
-            if self.config.lut_scale_granularity == "group"
-            else 1
-        )
-        return precompute_lut(
-            a,
-            g=self.config.g,
-            transform=self.transform,
-            mirror_consolidation=self.config.mirror_consolidation,
-            table_quantization=self.config.table_quantization,
-            scale_block=scale_block,
-            act_dtype=self.config.act_dtype,
-        )
+        return self.plan.precompute(a, self.config)
 
     def matmul(self, activation: np.ndarray) -> np.ndarray:
         """Compute ``activation @ W_dequantized^T`` without dequantizing W.
@@ -139,10 +182,28 @@ class TMACKernel:
         a = self._check_activation(activation)
         squeeze = np.asarray(activation).ndim == 1
         table = self.precompute(a)
-        out = self._matmul_with_table(a, table)
+        out = self.executor.matmul_with_table(self.plan, table, self.config, a)
         return out[0] if squeeze else out
 
     __call__ = matmul
+
+    def matmul_with_table(
+        self, activation: np.ndarray, table: LookupTable
+    ) -> np.ndarray:
+        """mpGEMM against an externally precomputed lookup table.
+
+        The table depends only on the activation (and the LUT configuration),
+        *not* on the weights — so one table can be shared by several kernels
+        consuming the same input (e.g. the q/k/v projections of an attention
+        block).  The serving engine uses this to precompute once per layer
+        input per decode step.  A table built for a different activation
+        shape or LUT configuration is rejected.
+        """
+        a = self._check_activation(activation)
+        squeeze = np.asarray(activation).ndim == 1
+        self._check_table(table, a)
+        out = self.executor.matmul_with_table(self.plan, table, self.config, a)
+        return out[0] if squeeze else out
 
     def matmul_codes(self, activation: np.ndarray) -> np.ndarray:
         """Compute ``activation @ codes^T`` (integer-code GEMM, no scales).
@@ -153,19 +214,58 @@ class TMACKernel:
         """
         a = self._check_activation(activation)
         table = self.precompute(a)
-        gpq = self._groups_per_qgroup
-        num_qgroups = self.weights.in_features // self.weights.group_size
-        group_sums = a.reshape(a.shape[0], num_qgroups, -1).sum(axis=2)
-
+        group_sums = a.reshape(a.shape[0], self.plan.num_qgroups, -1).sum(axis=2)
         total = np.zeros((a.shape[0], self.out_features), dtype=np.float64)
-        for qg in range(num_qgroups):
-            codes_dot = self._codes_dot_block(table, qg, gpq, group_sums[:, qg])
-            total += codes_dot
+        for _, _, chunk in self.executor.iter_codes_dot(
+            self.plan, table, self.config, group_sums
+        ):
+            total += chunk.sum(axis=-1)
         return total
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _check_table(self, table: LookupTable, activation: np.ndarray) -> None:
+        """Reject externally supplied tables this kernel cannot consume."""
+        cfg = self.config
+        if table.g != cfg.g:
+            raise ValueError(f"table g={table.g} does not match config g={cfg.g}")
+        if table.num_groups != self.plan.num_groups:
+            raise ValueError(
+                f"table covers {table.num_groups} groups but the weights "
+                f"need {self.plan.num_groups} (K={self.in_features}, g={cfg.g})"
+            )
+        if table.num_rows != activation.shape[0]:
+            raise ValueError(
+                f"table was built for {table.num_rows} activation rows, "
+                f"got {activation.shape[0]}"
+            )
+        if table.mirrored != cfg.mirror_consolidation:
+            raise ValueError(
+                f"table mirrored={table.mirrored} does not match "
+                f"config.mirror_consolidation={cfg.mirror_consolidation}"
+            )
+        if table.quantized != cfg.table_quantization:
+            raise ValueError(
+                f"table quantized={table.quantized} does not match "
+                f"config.table_quantization={cfg.table_quantization}"
+            )
+        if table.quantized and table.scale_block != self.plan.scale_block(cfg):
+            raise ValueError(
+                f"table scale_block={table.scale_block} does not match the "
+                f"kernel's {self.plan.scale_block(cfg)}"
+            )
+        if table.s0 is not None and (table.s0, table.s1) != (cfg.s0, cfg.s1):
+            raise ValueError(
+                f"table was built with transform ({table.s0}, {table.s1}), "
+                f"kernel uses ({cfg.s0}, {cfg.s1})"
+            )
+        if table.act_dtype is not None and table.act_dtype != cfg.act_dtype:
+            raise ValueError(
+                f"table act_dtype={table.act_dtype!r} does not match "
+                f"config.act_dtype={cfg.act_dtype!r}"
+            )
 
     def _check_activation(self, activation: np.ndarray) -> np.ndarray:
         a = np.asarray(activation, dtype=np.float32)
@@ -180,69 +280,3 @@ class TMACKernel:
                 f"activation K={a.shape[1]} does not match weight K={self.in_features}"
             )
         return a
-
-    def _block_partial(
-        self, table: LookupTable, bit: int, qg: int, gpq: int
-    ) -> np.ndarray:
-        """Looked-up and aggregated partial result of one bit plane over one
-        weight-quantization group.  Returns ``[N, M]`` float64."""
-        j0 = qg * gpq
-        jslice = slice(j0, j0 + gpq)
-        indices = self.weights.index_planes[bit][:, jslice]
-        raw = lookup(table, indices, group_slice=jslice)  # [N, M, gpq]
-
-        if not table.quantized:
-            return exact_aggregate(raw, axis=-1)
-
-        if table.scale_block == 1:
-            # Fine granularity: each group has its own scale; rescale before
-            # the (float) accumulation.
-            scales = table.scales[:, jslice]  # [N, gpq]
-            return exact_aggregate(raw * scales[:, None, :], axis=-1)
-
-        # Group granularity: one scale per quantization block -> aggregate in
-        # the integer domain (exactly or with the lossy rhadd tree), then
-        # rescale once.
-        if self.config.fast_aggregation:
-            aggregated = fast_aggregate(raw, axis=-1)
-        else:
-            aggregated = exact_aggregate(raw, axis=-1)
-        block_scale = table.scales[:, qg]  # [N]
-        return aggregated * block_scale[:, None]
-
-    def _codes_dot_block(
-        self, table: LookupTable, qg: int, gpq: int, group_sum: np.ndarray
-    ) -> np.ndarray:
-        """``A_block @ codes_block^T`` for one quantization group, [N, M]."""
-        alpha = self.transform.alpha
-        beta = self.transform.beta
-        codes_dot = np.zeros(
-            (table.num_rows, self.out_features), dtype=np.float64
-        )
-        for bit in range(self.bits):
-            partial = self._block_partial(table, bit, qg, gpq)
-            codes_dot += float(1 << bit) * (
-                alpha * partial + beta * group_sum[:, None]
-            )
-        return codes_dot
-
-    def _matmul_with_table(
-        self, activation: np.ndarray, table: LookupTable
-    ) -> np.ndarray:
-        n = activation.shape[0]
-        m = self.out_features
-        gpq = self._groups_per_qgroup
-        num_qgroups = self.in_features // self.weights.group_size
-        group_sums = activation.reshape(n, num_qgroups, -1).sum(axis=2)
-
-        scales_w = self.weights.scales  # [M, QG]
-        zeros_w = self.weights.zeros  # [M, QG]
-
-        out = np.zeros((n, m), dtype=np.float64)
-        for qg in range(num_qgroups):
-            codes_dot = self._codes_dot_block(table, qg, gpq, group_sums[:, qg])
-            scale_col = scales_w[:, qg][None, :]  # [1, M]
-            zero_col = zeros_w[:, qg][None, :]  # [1, M]
-            out += scale_col * codes_dot
-            out -= (scale_col * zero_col) * group_sums[:, qg][:, None]
-        return out.astype(np.float32)

@@ -59,6 +59,13 @@ class LookupTable:
         Whether entries are int8 with scales.
     scale_block:
         Number of K/g groups sharing one scale (1 = finest granularity).
+    s0 / s1:
+        End points of the bit-serial transform the table was built with
+        (``None`` for tables built outside :func:`precompute_lut`).  Kernels
+        use them to reject externally shared tables from an incompatible
+        transform.
+    act_dtype:
+        Accumulation dtype the table values were built in, when known.
     """
 
     values: np.ndarray
@@ -67,6 +74,9 @@ class LookupTable:
     quantized: bool
     scales: Optional[np.ndarray] = None
     scale_block: int = 1
+    s0: Optional[float] = None
+    s1: Optional[float] = None
+    act_dtype: Optional[str] = None
 
     @property
     def num_rows(self) -> int:
@@ -211,6 +221,9 @@ def precompute_lut(
             quantized=True,
             scales=scales,
             scale_block=scale_block,
+            s0=transform.s0,
+            s1=transform.s1,
+            act_dtype=act_dtype,
         )
     return LookupTable(
         values=lut.astype(np.float32),
@@ -219,6 +232,9 @@ def precompute_lut(
         quantized=False,
         scales=None,
         scale_block=scale_block,
+        s0=transform.s0,
+        s1=transform.s1,
+        act_dtype=act_dtype,
     )
 
 

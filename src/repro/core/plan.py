@@ -1,0 +1,429 @@
+"""Offline kernel plans and the process-wide plan cache.
+
+Algorithm 1 splits the T-MAC kernel into an *offline* stage (weights are
+bit-plane decomposed, grouped, packed, permuted and interleaved once — they
+never change during inference) and an *online* stage (per-activation table
+precompute, lookup, aggregation).  :class:`KernelPlan` is the materialized
+offline stage: everything derivable from ``(quantized weights, config)``
+alone, built once and shared by every executor and every request that uses
+the same weights.
+
+Plans are content-addressed: :func:`weight_fingerprint` hashes the quantized
+codes/scales/zeros, and :class:`PlanCache` memoizes plans process-wide under
+``(fingerprint, layout-relevant config fields, tile config)``.  Only the
+fields that change the offline artifacts enter the key — execution-time
+knobs (table quantization, fast aggregation, LUT scale granularity,
+executor choice) deliberately do not, so e.g. ``T-MAC`` and ``T-MAC (+FA)``
+share one plan for the same weights.
+
+The cache is what lets :func:`repro.core.gemm.tmac_gemm` /
+:func:`~repro.core.gemm.tmac_gemv` be called repeatedly against the same
+weights without re-running offline preprocessing, and what the serving
+engine (:mod:`repro.serving`) uses to bind many concurrent models/requests
+to one set of prepared weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitserial import BitSerialTransform
+from repro.core.config import TMACConfig
+from repro.core.lut import LookupTable, precompute_lut
+from repro.core.tiling import TileConfig
+from repro.core.weights import (
+    PreprocessedWeights,
+    preprocess_weights,
+    resolve_tile_config,
+)
+from repro.quant.uniform import QuantizedWeight
+
+#: Precompute int32 gather offsets only while ``M * K/g`` stays below this
+#: bound (~32 MB per bit plane); beyond it the memory cost of 4 bytes per
+#: index outweighs the per-call arithmetic it saves.
+_OFFSETS_PRECOMPUTE_MAX = 1 << 23
+
+__all__ = [
+    "KernelPlan",
+    "build_plan",
+    "weight_fingerprint",
+    "PlanCache",
+    "PLAN_CACHE",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
+]
+
+
+#: id(codes) -> (wr_codes, wr_scales, wr_zeros, digest).  Entries evict
+#: themselves when the codes array is garbage-collected, so a recycled id
+#: can never alias a dead entry.  Module-level (not on the weight object)
+#: so QuantizedWeight instances stay free of unpicklable weakrefs.
+_FINGERPRINT_MEMO: dict = {}
+
+
+def _fingerprint_evictor(key: int):
+    def _evict(_ref) -> None:
+        _FINGERPRINT_MEMO.pop(key, None)
+
+    return _evict
+
+
+def weight_fingerprint(qweight: QuantizedWeight) -> str:
+    """Content hash of a quantized weight matrix.
+
+    Two :class:`~repro.quant.uniform.QuantizedWeight` objects with the same
+    codes, scales, zero points, bit width and group size produce the same
+    fingerprint, regardless of object identity — the property the plan cache
+    needs to recognise "the same weights" across model rebuilds.
+
+    The digest is memoized (keyed by the identity of the exact arrays
+    hashed, held weakly) so a decode loop calling
+    :func:`repro.core.gemm.tmac_gemv` against one weight object pays the
+    O(M*K) hash once, not per token, while rebuilt or
+    ``dataclasses.replace``-derived weights are always re-hashed.  Like the
+    plan cache itself, this assumes the arrays are not mutated in place
+    once quantized (they are not during inference).
+    """
+    key = id(qweight.codes)
+    entry = _FINGERPRINT_MEMO.get(key)
+    if entry is not None:
+        wr_codes, wr_scales, wr_zeros, digest = entry
+        if (wr_codes() is qweight.codes and wr_scales() is qweight.scales
+                and wr_zeros() is qweight.zeros):
+            return digest
+    h = hashlib.sha1()
+    h.update(f"{qweight.bits}:{qweight.group_size}:{qweight.shape}".encode())
+    h.update(np.ascontiguousarray(qweight.codes).tobytes())
+    h.update(np.ascontiguousarray(qweight.scales).tobytes())
+    h.update(np.ascontiguousarray(qweight.zeros).tobytes())
+    digest = h.hexdigest()
+    _FINGERPRINT_MEMO[key] = (
+        weakref.ref(qweight.codes, _fingerprint_evictor(key)),
+        weakref.ref(qweight.scales),
+        weakref.ref(qweight.zeros),
+        digest,
+    )
+    return digest
+
+
+@dataclass
+class _LookupTables:
+    """Precomputed gather metadata for one mirror setting (executor detail).
+
+    For every bit plane the folded (mirror-consolidated) table indices and
+    the mirror-reconstruction signs are pure functions of the weight
+    indices — computed once per plan and reused by every online call, which
+    matters in the decode regime where ``N = 1`` and the index arithmetic
+    is as large as the gather itself.  Stored at index-plane width (one
+    byte per index) so the footprint matches the index planes themselves.
+    """
+
+    #: Entries stored per table row (``2**g``, halved when mirrored).
+    stored: int
+    #: Per bit: ``[M, J]`` folded indices into the stored table.
+    folded: List[np.ndarray]
+    #: Per bit: ``[M, J]`` int8 ``+1``/``-1`` factors; ``None`` if unmirrored.
+    signs: Optional[List[np.ndarray]]
+    #: Per bit: ``[M, J]`` int32 flat offsets into a ``[J * stored]`` table
+    #: row (``j * stored + folded``), precomputed so the decode-regime
+    #: gather needs no per-call index arithmetic.  ``None`` for very large
+    #: weight matrices, where the 4-bytes-per-index cost outweighs the
+    #: saving — the executor then derives offsets from ``folded`` per chunk.
+    offsets: Optional[List[np.ndarray]] = None
+
+
+@dataclass
+class KernelPlan:
+    """The offline stage of the T-MAC kernel, built once per (weights, layout).
+
+    Attributes
+    ----------
+    config:
+        The configuration the plan was built with.  Executors may run the
+        plan under a *different* config as long as the layout-relevant
+        fields (``bits``, ``g``, ``s0``/``s1``, permutation, interleaving,
+        tiling) agree — see :meth:`compatible_with`.
+    weights:
+        The preprocessed weight operand (index planes + packed layout).
+    transform:
+        Bit-serial transform mapping weight bits to table signs.
+    fingerprint:
+        Content hash of the source quantized weights.
+    """
+
+    config: TMACConfig
+    weights: PreprocessedWeights
+    transform: BitSerialTransform
+    fingerprint: str
+    _gather_cache: Dict[bool, _LookupTables] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # Shape properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def out_features(self) -> int:
+        """M — rows of the weight matrix / output width."""
+        return self.weights.out_features
+
+    @property
+    def in_features(self) -> int:
+        """K — reduction dimension."""
+        return self.weights.in_features
+
+    @property
+    def bits(self) -> int:
+        """Weight bit width."""
+        return self.weights.bits
+
+    @property
+    def g(self) -> int:
+        """LUT group size."""
+        return self.weights.g
+
+    @property
+    def group_size(self) -> int:
+        """Weight-quantization group size along K."""
+        return self.weights.group_size
+
+    @property
+    def groups_per_qgroup(self) -> int:
+        """Number of g-wide LUT groups per weight-quantization group."""
+        return self.weights.group_size // self.weights.g
+
+    @property
+    def num_qgroups(self) -> int:
+        """Number of weight-quantization groups along K."""
+        return self.weights.in_features // self.weights.group_size
+
+    @property
+    def num_groups(self) -> int:
+        """J = K/g — total LUT groups along K."""
+        return self.weights.in_features // self.weights.g
+
+    # ------------------------------------------------------------------ #
+    # Online-stage helpers
+    # ------------------------------------------------------------------ #
+
+    def scale_block(self, config: Optional[TMACConfig] = None) -> int:
+        """Number of LUT groups sharing one dynamic table scale."""
+        cfg = config or self.config
+        return self.groups_per_qgroup if cfg.lut_scale_granularity == "group" else 1
+
+    def precompute(
+        self, activation: np.ndarray, config: Optional[TMACConfig] = None
+    ) -> LookupTable:
+        """Build the online lookup tables for an activation matrix.
+
+        ``config`` overrides the plan's own configuration for the
+        execution-time knobs (table quantization, scale granularity, mirror
+        consolidation, activation dtype); the layout fields must match.
+        """
+        cfg = config or self.config
+        if cfg.g != self.g:
+            raise ValueError(f"config.g={cfg.g} does not match plan g={self.g}")
+        if (cfg.s0, cfg.s1) != (self.transform.s0, self.transform.s1):
+            raise ValueError(
+                f"config transform ({cfg.s0}, {cfg.s1}) does not match the "
+                f"plan's ({self.transform.s0}, {self.transform.s1})"
+            )
+        return precompute_lut(
+            activation,
+            g=cfg.g,
+            transform=self.transform,
+            mirror_consolidation=cfg.mirror_consolidation,
+            table_quantization=cfg.table_quantization,
+            scale_block=self.scale_block(cfg),
+            act_dtype=cfg.act_dtype,
+        )
+
+    def lookup_tables(self, mirrored: bool) -> _LookupTables:
+        """Precomputed per-bit folded indices and signs (lazily built)."""
+        cached = self._gather_cache.get(mirrored)
+        if cached is not None:
+            return cached
+        full = 1 << self.g
+        stored = full >> 1 if mirrored else full
+        folded_planes: List[np.ndarray] = []
+        signs: Optional[List[np.ndarray]] = [] if mirrored else None
+        for plane in self.weights.index_planes:
+            if mirrored:
+                half = full >> 1
+                negate = plane >= half
+                folded = np.where(negate, (full - 1) - plane, plane)
+                signs.append(np.where(negate, -1, 1).astype(np.int8))
+                folded_planes.append(folded.astype(plane.dtype))
+            else:
+                # Unmirrored: the plane already is the folded index — share
+                # it rather than duplicating M*K/g bytes per bit.
+                folded_planes.append(plane)
+        offsets: Optional[List[np.ndarray]] = None
+        if self.out_features * self.num_groups <= _OFFSETS_PRECOMPUTE_MAX:
+            col = np.arange(self.num_groups, dtype=np.int32) * stored
+            offsets = [
+                (col[None, :] + folded).astype(np.int32)
+                for folded in folded_planes
+            ]
+        tables = _LookupTables(stored=stored, folded=folded_planes,
+                               signs=signs, offsets=offsets)
+        self._gather_cache[mirrored] = tables
+        return tables
+
+    def compatible_with(self, config: TMACConfig) -> bool:
+        """Whether this plan can execute under ``config``.
+
+        A config with no tile preference (``tile_config is None``) accepts
+        the plan's tiling; an explicit tile request must match the tiles
+        the weights were actually laid out with.
+        """
+        config_tile = config.tile_config or self.weights.tile_config
+        return _layout_key(config, config_tile) == _layout_key(
+            self.config, self.weights.tile_config
+        )
+
+
+def build_plan(
+    qweight: QuantizedWeight,
+    config: Optional[TMACConfig] = None,
+    tile_config: Optional[TileConfig] = None,
+) -> KernelPlan:
+    """Run the offline stage: preprocess the weights into a reusable plan."""
+    cfg = config or TMACConfig(bits=qweight.bits)
+    if cfg.bits != qweight.bits:
+        raise ValueError(f"config.bits={cfg.bits} != qweight.bits={qweight.bits}")
+    transform = BitSerialTransform(cfg.s0, cfg.s1)
+    weights = preprocess_weights(qweight, cfg, tile_config)
+    return KernelPlan(
+        config=cfg,
+        weights=weights,
+        transform=transform,
+        fingerprint=weight_fingerprint(qweight),
+    )
+
+
+def _layout_key(
+    config: TMACConfig, tile_config: Optional[TileConfig]
+) -> Tuple:
+    """The config fields that change the offline artifacts.
+
+    The tile is normalized through the same
+    :func:`~repro.core.weights.resolve_tile_config` preprocessing uses, so
+    an implicit (``None``) and an explicit default tile produce the same
+    key instead of duplicating plans.
+    """
+    tile = resolve_tile_config(config, tile_config)
+    tile_key = (tile.m_tm, tile.k_tk)
+    return (
+        config.bits,
+        config.g,
+        config.s0,
+        config.s1,
+        config.permute_weights,
+        config.interleave_weights,
+        tile_key,
+    )
+
+
+class PlanCache:
+    """Process-wide memoization of :class:`KernelPlan` objects.
+
+    Keys are ``(weight fingerprint, layout-relevant config fields, tile)``.
+    The cache is bounded (LRU eviction) so long-running serving processes
+    cannot grow without limit, and thread-safe because the serving engine
+    admits requests from arbitrary callers.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._plans: "Dict[Tuple, KernelPlan]" = {}
+        self._order: List[Tuple] = []
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        qweight: QuantizedWeight,
+        config: Optional[TMACConfig] = None,
+        tile_config: Optional[TileConfig] = None,
+    ) -> KernelPlan:
+        """Return the cached plan for these weights, building it on a miss."""
+        cfg = config or TMACConfig(bits=qweight.bits)
+        fingerprint = weight_fingerprint(qweight)
+        key = (fingerprint, _layout_key(cfg, tile_config))
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._order.remove(key)
+                self._order.append(key)
+                return plan
+            self.misses += 1
+        # Build outside the lock: preprocessing can be expensive and plans
+        # for distinct keys are independent.  A racing duplicate build is
+        # harmless (last writer wins, both plans are correct).
+        plan = build_plan(qweight, cfg, tile_config)
+        with self._lock:
+            if key not in self._plans:
+                self._plans[key] = plan
+                self._order.append(key)
+                while len(self._order) > self.max_entries:
+                    evicted = self._order.pop(0)
+                    self._plans.pop(evicted, None)
+        return plan
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (reported by the serving benchmark)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._plans),
+            }
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        with self._lock:
+            self._plans.clear()
+            self._order.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+#: The process-wide plan cache used by the functional GEMM API, the T-MAC
+#: backend and the serving engine.
+PLAN_CACHE = PlanCache()
+
+
+def get_plan(
+    qweight: QuantizedWeight,
+    config: Optional[TMACConfig] = None,
+    tile_config: Optional[TileConfig] = None,
+) -> KernelPlan:
+    """Fetch (or build and cache) the plan for a quantized weight matrix."""
+    return PLAN_CACHE.get(qweight, config, tile_config)
+
+
+def clear_plan_cache() -> None:
+    """Reset the process-wide plan cache (used by tests and benchmarks)."""
+    PLAN_CACHE.clear()
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Counters of the process-wide plan cache."""
+    return PLAN_CACHE.stats()

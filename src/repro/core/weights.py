@@ -37,6 +37,7 @@ from repro.core.tiling import TileConfig
 from repro.quant.uniform import QuantizedWeight
 
 __all__ = [
+    "resolve_tile_config",
     "group_bits",
     "ungroup_bits",
     "pack_indices",
@@ -48,6 +49,18 @@ __all__ = [
     "PreprocessedWeights",
     "preprocess_weights",
 ]
+
+
+def resolve_tile_config(
+    config: TMACConfig, tile_config: Optional[TileConfig] = None
+) -> TileConfig:
+    """The tile configuration preprocessing actually uses.
+
+    Single source of the fallback default so the plan cache's layout key and
+    the preprocessing pipeline can never disagree about what a ``None`` tile
+    means.
+    """
+    return tile_config or config.tile_config or TileConfig(m_tm=32, k_tk=32)
 
 
 def group_bits(bit_plane: np.ndarray, g: int) -> np.ndarray:
@@ -282,7 +295,7 @@ def preprocess_weights(
             f"quantization group_size={qweight.group_size} must be a multiple "
             f"of the LUT group size g={config.g}"
         )
-    tile = tile_config or config.tile_config or TileConfig(m_tm=32, k_tk=32)
+    tile = resolve_tile_config(config, tile_config)
 
     planes = decompose_bits(qweight.codes, qweight.bits)
     index_planes = [group_bits(plane, config.g) for plane in planes]

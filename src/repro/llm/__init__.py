@@ -5,9 +5,12 @@ Two complementary paths are provided, mirroring how the paper evaluates:
 
 * **Numerical path** — :mod:`repro.llm.model` builds a real (randomly
   initialized or user-provided) transformer whose linear layers run through
-  a selectable mpGEMM engine (:mod:`repro.llm.engine`: full-precision
-  reference, llama.cpp-style dequantization, or T-MAC).  This is what the
-  quality/error experiments (Tables 3 and 4) use, at laptop-friendly sizes.
+  a selectable mpGEMM backend from the registry (:mod:`repro.backends`:
+  full-precision reference, llama.cpp-style dequantization, or T-MAC;
+  :mod:`repro.llm.engine` keeps the historical names as aliases).  This is
+  what the quality/error experiments (Tables 3 and 4) use, at
+  laptop-friendly sizes.  Batched multi-request serving on top of this
+  path lives in :mod:`repro.serving`.
 * **Analytic path** — :mod:`repro.llm.throughput` walks the *real* layer
   shapes of Llama-2-7B/13B and BitNet-3B (:mod:`repro.llm.architecture`)
   and sums roofline kernel latencies to estimate tokens/second per device,

@@ -1,34 +1,33 @@
-"""Matmul engines: pluggable mpGEMM backends for the numpy transformer.
+"""Compatibility shim: matmul engines now live in :mod:`repro.backends`.
 
-A :class:`MatmulEngine` turns a full-precision weight matrix into a callable
-linear operator.  Three engines are provided, matching the frameworks the
-paper compares:
+Historically this module defined the ``MatmulEngine`` class hierarchy
+(reference / dequantization / T-MAC) used by the numpy transformer.  The
+implementations moved to the :mod:`repro.backends` package, where they are
+exposed through a uniform registry (``register_backend`` / ``get_backend``)
+alongside the BLAS/GPU/NPU cost-model backends.  This module re-exports the
+numeric backends under their historical names so existing imports keep
+working:
 
-* :class:`ReferenceEngine` — keep the weights in floating point
-  ("Un-quantized" in Table 4).
-* :class:`DequantEngine` — quantize the weights and execute with the
-  llama.cpp-style dequantization kernel.
-* :class:`TMACEngine` — quantize the weights and execute with the T-MAC
-  LUT kernel (optionally with fast aggregation, the "+FA" rows).
+* ``MatmulEngine`` is :class:`repro.backends.Backend`,
+* ``ReferenceEngine`` is :class:`repro.backends.ReferenceBackend`,
+* ``DequantEngine`` is :class:`repro.backends.DequantBackend`,
+* ``TMACEngine`` is :class:`repro.backends.TMACBackend`,
+* :func:`create_engine` resolves through the registry.
 
-All three consume identical :class:`~repro.quant.uniform.QuantizedWeight`
-objects (except the reference), so quality differences between engines are
-attributable purely to the kernels — exactly the controlled comparison the
-paper's error analysis performs.
+New code should import from :mod:`repro.backends` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
-
-import numpy as np
-
-from repro.baselines.dequant_gemm import DequantGEMM
-from repro.core.config import TMACConfig
-from repro.core.kernel import TMACKernel
-from repro.quant.bitnet import quantize_bitnet
-from repro.quant.uniform import quantize_weights
+from repro.backends import (
+    Backend,
+    DequantBackend,
+    LinearOperator,
+    ReferenceBackend,
+    TMACBackend,
+    get_backend,
+    pick_group_size,
+)
 
 __all__ = [
     "LinearOperator",
@@ -40,154 +39,11 @@ __all__ = [
     "pick_group_size",
 ]
 
-
-def pick_group_size(in_features: int, requested: int, minimum: int = 4) -> int:
-    """Largest group size <= ``requested`` that divides ``in_features``.
-
-    Small test models have reduction dimensions that the default 128-wide
-    quantization group does not divide; shrinking the group (by halving)
-    keeps the per-group quantization semantics intact.
-    """
-    if in_features < minimum:
-        raise ValueError(
-            f"in_features={in_features} is smaller than the minimum group "
-            f"size {minimum}"
-        )
-    group = min(requested, in_features)
-    while group > minimum and in_features % group != 0:
-        group //= 2
-    if in_features % group != 0:
-        raise ValueError(
-            f"cannot find a group size <= {requested} dividing K={in_features}"
-        )
-    return max(group, minimum)
-
-
-@dataclass
-class LinearOperator:
-    """A bound linear layer: ``y = forward(x)`` with bookkeeping for stats."""
-
-    name: str
-    out_features: int
-    in_features: int
-    forward: Callable[[np.ndarray], np.ndarray]
-    engine_name: str
-    weight_bytes: int
-
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
-
-
-class MatmulEngine:
-    """Base class for mpGEMM engines.
-
-    Subclasses implement :meth:`make_linear`, turning an fp weight matrix
-    ``[M, K]`` into a :class:`LinearOperator`.
-    """
-
-    name = "base"
-
-    def make_linear(self, weight: np.ndarray, name: str = "linear") -> LinearOperator:
-        """Bind a weight matrix to this engine."""
-        raise NotImplementedError
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}()"
-
-
-class ReferenceEngine(MatmulEngine):
-    """Full-precision engine: no quantization, plain fp32 matmul."""
-
-    name = "reference"
-
-    def make_linear(self, weight: np.ndarray, name: str = "linear") -> LinearOperator:
-        w = np.asarray(weight, dtype=np.float32)
-
-        def forward(x: np.ndarray) -> np.ndarray:
-            return np.asarray(x, dtype=np.float32) @ w.T
-
-        return LinearOperator(
-            name=name,
-            out_features=w.shape[0],
-            in_features=w.shape[1],
-            forward=forward,
-            engine_name=self.name,
-            weight_bytes=w.size * 2,
-        )
-
-
-class DequantEngine(MatmulEngine):
-    """llama.cpp-style engine: quantize weights, dequantization-based kernel."""
-
-    name = "llama.cpp"
-
-    def __init__(self, bits: int = 4, group_size: int = 128,
-                 act_block_size: int = 32, bitnet: bool = False):
-        self.bits = bits
-        self.group_size = group_size
-        self.act_block_size = act_block_size
-        self.bitnet = bitnet
-
-    def make_linear(self, weight: np.ndarray, name: str = "linear") -> LinearOperator:
-        w = np.asarray(weight, dtype=np.float32)
-        group = pick_group_size(w.shape[1], self.group_size)
-        if self.bitnet:
-            qw = quantize_bitnet(w, group_size=group)
-        else:
-            qw = quantize_weights(w, bits=self.bits, group_size=group)
-        act_block = min(self.act_block_size, group)
-        kernel = DequantGEMM(qw, act_block_size=act_block)
-
-        def forward(x: np.ndarray) -> np.ndarray:
-            return kernel.matmul(x)
-
-        return LinearOperator(
-            name=name,
-            out_features=w.shape[0],
-            in_features=w.shape[1],
-            forward=forward,
-            engine_name=self.name,
-            weight_bytes=qw.memory_bytes(),
-        )
-
-
-class TMACEngine(MatmulEngine):
-    """T-MAC engine: quantize weights, LUT-based kernel."""
-
-    name = "T-MAC"
-
-    def __init__(self, bits: int = 4, group_size: int = 128,
-                 config: Optional[TMACConfig] = None, bitnet: bool = False):
-        self.bits = bits
-        self.group_size = group_size
-        self.config = config
-        self.bitnet = bitnet
-        if config is not None and config.fast_aggregation:
-            self.name = "T-MAC (+FA)"
-
-    def make_linear(self, weight: np.ndarray, name: str = "linear") -> LinearOperator:
-        w = np.asarray(weight, dtype=np.float32)
-        group = pick_group_size(w.shape[1], self.group_size)
-        if self.bitnet:
-            qw = quantize_bitnet(w, group_size=group)
-        else:
-            qw = quantize_weights(w, bits=self.bits, group_size=group)
-        config = self.config or TMACConfig(bits=qw.bits)
-        if config.bits != qw.bits:
-            config = config.with_options(bits=qw.bits)
-        kernel = TMACKernel(qw, config)
-
-        def forward(x: np.ndarray) -> np.ndarray:
-            return kernel.matmul(x)
-
-        return LinearOperator(
-            name=name,
-            out_features=w.shape[0],
-            in_features=w.shape[1],
-            forward=forward,
-            engine_name=self.name,
-            weight_bytes=qw.memory_bytes(),
-        )
+# Historical names, kept for backward compatibility.
+MatmulEngine = Backend
+ReferenceEngine = ReferenceBackend
+DequantEngine = DequantBackend
+TMACEngine = TMACBackend
 
 
 def create_engine(
@@ -196,19 +52,18 @@ def create_engine(
     group_size: int = 128,
     fast_aggregation: bool = False,
     bitnet: bool = False,
-) -> MatmulEngine:
-    """Factory for the three engines by name.
+) -> Backend:
+    """Resolve an engine by name through the backend registry.
 
-    ``kind`` is one of ``"reference"``, ``"dequant"`` (aliases
-    ``"llama.cpp"``, ``"llamacpp"``) or ``"tmac"`` (alias ``"t-mac"``).
+    ``kind`` accepts the historical spellings (``"reference"``,
+    ``"dequant"`` / ``"llama.cpp"`` / ``"llamacpp"``, ``"tmac"`` /
+    ``"t-mac"``) plus any other registered backend name.  Unknown names
+    raise ``ValueError`` (:class:`repro.backends.UnknownBackendError`).
     """
-    key = kind.lower()
-    if key in ("reference", "fp", "unquantized"):
-        return ReferenceEngine()
-    if key in ("dequant", "llama.cpp", "llamacpp"):
-        return DequantEngine(bits=bits, group_size=group_size, bitnet=bitnet)
-    if key in ("tmac", "t-mac"):
-        config = TMACConfig(bits=bits, fast_aggregation=fast_aggregation)
-        return TMACEngine(bits=bits, group_size=group_size, config=config,
-                          bitnet=bitnet)
-    raise ValueError(f"unknown engine kind {kind!r}")
+    return get_backend(
+        kind,
+        bits=bits,
+        group_size=group_size,
+        fast_aggregation=fast_aggregation,
+        bitnet=bitnet,
+    )

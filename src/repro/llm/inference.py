@@ -18,7 +18,21 @@ import numpy as np
 from repro.llm.layers import softmax
 from repro.llm.model import TransformerModel
 
-__all__ = ["GenerationResult", "Generator"]
+__all__ = ["GenerationResult", "Generator", "sample_token"]
+
+
+def sample_token(logits: np.ndarray, temperature: float,
+                 rng: np.random.Generator) -> int:
+    """Draw one token from a logits row (greedy at temperature 0).
+
+    Shared by the sequential :class:`Generator` and the serving engine's
+    :class:`repro.serving.session.InferenceSession`, whose batched-equals-
+    sequential guarantee depends on both paths sampling identically.
+    """
+    if temperature <= 0.0:
+        return int(np.argmax(logits))
+    probs = softmax(logits / temperature)
+    return int(rng.choice(len(probs), p=probs))
 
 
 @dataclass
@@ -106,7 +120,4 @@ class Generator:
         return result
 
     def _sample(self, logits: np.ndarray, temperature: float) -> int:
-        if temperature <= 0.0:
-            return int(np.argmax(logits))
-        probs = softmax(logits / temperature)
-        return int(self._rng.choice(len(probs), p=probs))
+        return sample_token(logits, temperature, self._rng)

@@ -26,6 +26,7 @@ __all__ = [
     "build_rope_cache",
     "apply_rope",
     "KVCache",
+    "attend",
     "Attention",
     "MLP",
     "TransformerBlock",
@@ -110,6 +111,42 @@ class KVCache:
                        for k, v in zip(self.keys, self.values)))
 
 
+def attend(q: np.ndarray, k_all: np.ndarray, v_all: np.ndarray,
+           positions: np.ndarray, arch: TransformerArch) -> np.ndarray:
+    """Causal attention of queries over a cached key/value window.
+
+    ``q`` is ``[seq, heads, head_dim]``; ``k_all``/``v_all`` are the full
+    ``[total, kv_heads, head_dim]`` history the queries may attend to;
+    ``positions`` gives each query's absolute position (cached positions
+    ``0..p`` are visible to a query at position ``p``).  Returns the
+    context as ``[seq, heads * head_dim]``.
+
+    This is the single float-op sequence shared by the sequential path
+    (:meth:`Attention.forward`) and the serving engine's batched decode
+    (:mod:`repro.serving.batch`), so the two can never drift apart
+    numerically.
+    """
+    group = arch.num_heads // arch.num_kv_heads
+    if group > 1:
+        k_all = np.repeat(k_all, group, axis=1)
+        v_all = np.repeat(v_all, group, axis=1)
+
+    total = k_all.shape[0]
+    scale = 1.0 / np.sqrt(arch.head_dim)
+    # scores[h, i, j] = q[i, h, :] . k[j, h, :]
+    scores = np.einsum("ihd,jhd->hij", q, k_all, optimize=True) * scale
+
+    # Causal mask: query at absolute position p attends to cached
+    # positions 0..p.
+    key_positions = np.arange(total)
+    mask = key_positions[None, :] > positions[:, None]
+    scores = np.where(mask[None, :, :], -1e30, scores)
+
+    probs = softmax(scores, axis=-1)
+    context = np.einsum("hij,jhd->ihd", probs, v_all, optimize=True)
+    return context.reshape(q.shape[0], arch.num_heads * arch.head_dim)
+
+
 class Attention:
     """Multi-head / grouped-query attention with RoPE and a KV cache."""
 
@@ -151,25 +188,7 @@ class Attention:
         else:
             k_all, v_all = k, v
 
-        group = arch.num_heads // arch.num_kv_heads
-        if group > 1:
-            k_all = np.repeat(k_all, group, axis=1)
-            v_all = np.repeat(v_all, group, axis=1)
-
-        total = k_all.shape[0]
-        scale = 1.0 / np.sqrt(arch.head_dim)
-        # scores[h, i, j] = q[i, h, :] . k[j, h, :]
-        scores = np.einsum("ihd,jhd->hij", q, k_all, optimize=True) * scale
-
-        # Causal mask: query at absolute position p attends to cached
-        # positions 0..p.
-        key_positions = np.arange(total)
-        mask = key_positions[None, :] > positions[:, None]
-        scores = np.where(mask[None, :, :], -1e30, scores)
-
-        probs = softmax(scores, axis=-1)
-        context = np.einsum("hij,jhd->ihd", probs, v_all, optimize=True)
-        context = context.reshape(seq, arch.num_heads * arch.head_dim)
+        context = attend(q, k_all, v_all, positions, arch)
         return self.o_proj(context)
 
 

@@ -87,4 +87,5 @@ def quantize_bitnet(weights: np.ndarray, group_size: int = 128) -> QuantizedWeig
         metadata={"format": "bitnet-b1.58", "ternary": True},
     )
     qw.validate()
+    qw.freeze()
     return qw

@@ -96,6 +96,19 @@ class QuantizedWeight:
         zero_bytes = 0 if self.symmetric else self.zeros.size * 2
         return code_bits // 8 + scale_bytes + zero_bytes
 
+    def freeze(self) -> "QuantizedWeight":
+        """Mark the underlying arrays read-only.
+
+        Weights never change during inference, and the kernel-plan cache
+        (:mod:`repro.core.plan`) memoizes preprocessing under that
+        assumption — freezing turns an accidental in-place mutation (which
+        would silently desynchronize the caches) into an immediate
+        ``ValueError: assignment destination is read-only``.
+        """
+        for array in (self.codes, self.scales, self.zeros):
+            array.setflags(write=False)
+        return self
+
     def validate(self) -> None:
         """Raise ``ValueError`` if the internal arrays are inconsistent."""
         m, k = self.codes.shape
@@ -235,6 +248,7 @@ def quantize_weights(
         symmetric=symmetric,
     )
     qw.validate()
+    qw.freeze()
     return qw
 
 

@@ -1,0 +1,218 @@
+"""Batched decode: one forward pass over many sessions' current tokens.
+
+The decode phase of LLM inference is an mpGEMV per linear layer per request
+— the memory-bound regime the paper targets.  With continuous batching the
+scheduler coalesces the current token of ``B`` sessions into a ``[B,
+hidden]`` activation matrix, so every linear layer executes **one** batched
+mpGEMM instead of ``B`` independent mpGEMVs, amortizing each weight-matrix
+traversal over the whole batch.
+
+Attention remains per-session (each request has its own KV cache, length
+and absolute position) and is computed with exactly the float-op sequence
+of the sequential path.  For row-independent kernels (T-MAC: per-row LUT
+quantization, lookup and aggregation) a batched step is therefore
+*bit-identical* to running the sessions one by one — the property the
+serving tests assert.  The fp32 reference backend delegates to BLAS, whose
+blocking may differ between GEMV and batched GEMM, so its logits can
+differ in final ulps; generated tokens still match except at exact argmax
+near-ties.
+
+Two LUT-level reuses stack on top:
+
+* **Per-step LUT sharing** — the lookup table depends only on the
+  activation, not on the weights, so projections consuming the same input
+  (q/k/v after the input norm; gate/up after the post-attention norm)
+  share one table precompute per step (:func:`shared_input_forward`).
+* **Plan caching** — the weights behind every kernel were prepared once
+  through the process-wide plan cache (:mod:`repro.core.plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.backends.base import LinearOperator
+from repro.core.kernel import TMACKernel
+from repro.llm.layers import KVCache, apply_rope, attend, rms_norm, silu
+from repro.llm.model import TransformerModel
+
+__all__ = ["BatchStats", "shared_input_forward", "batched_decode_step"]
+
+
+@dataclass
+class BatchStats:
+    """Counters accumulated across batched decode steps.
+
+    All O(1) running aggregates — a long-running engine records millions of
+    steps, so per-step history is deliberately not kept.
+    """
+
+    decode_steps: int = 0  #: batched forward passes executed
+    batched_tokens: int = 0  #: sum of batch sizes over all steps
+    max_batch_size: int = 0  #: largest batch coalesced into one step
+    lut_precomputes: int = 0  #: lookup tables actually built
+    lut_reuses: int = 0  #: table precomputes avoided by sharing
+
+    def record_step(self, batch_size: int) -> None:
+        self.decode_steps += 1
+        self.batched_tokens += batch_size
+        self.max_batch_size = max(self.max_batch_size, batch_size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of sessions coalesced per decode step."""
+        if self.decode_steps == 0:
+            return 0.0
+        return self.batched_tokens / self.decode_steps
+
+
+def _lut_signature(op: LinearOperator):
+    """Key under which two kernels can share one lookup-table precompute.
+
+    The table is a pure function of the activation and these configuration
+    fields; kernels agreeing on all of them accept each other's tables.
+    Returns ``None`` for non-T-MAC operators.
+    """
+    kernel = op.kernel
+    if not isinstance(kernel, TMACKernel):
+        return None
+    cfg = kernel.config
+    return (
+        kernel.in_features,
+        cfg.g,
+        cfg.s0,
+        cfg.s1,
+        cfg.mirror_consolidation,
+        cfg.table_quantization,
+        cfg.act_dtype,
+        kernel.plan.scale_block(cfg),
+    )
+
+
+def shared_input_forward(
+    ops: Sequence[LinearOperator],
+    x: np.ndarray,
+    stats: Optional[BatchStats] = None,
+) -> List[np.ndarray]:
+    """Apply several linear operators to the *same* input.
+
+    When every operator is backed by a T-MAC kernel with a compatible LUT
+    configuration, the activation's lookup tables are precomputed once and
+    shared — the per-step LUT reuse of the serving engine.  Otherwise each
+    operator runs independently (numerically identical either way).
+    """
+    signatures = [_lut_signature(op) for op in ops]
+    if len(ops) > 1 and signatures[0] is not None and all(
+        sig == signatures[0] for sig in signatures
+    ):
+        table = ops[0].kernel.precompute(x)
+        if stats is not None:
+            stats.lut_precomputes += 1
+            stats.lut_reuses += len(ops) - 1
+        return [op.kernel.matmul_with_table(x, table) for op in ops]
+    if stats is not None:
+        stats.lut_precomputes += sum(1 for sig in signatures if sig is not None)
+    return [op(x) for op in ops]
+
+
+def _batched_attention(
+    block, q: np.ndarray, k: np.ndarray, v: np.ndarray,
+    positions: np.ndarray, caches: Sequence[KVCache],
+) -> np.ndarray:
+    """Per-session attention over each session's own KV history.
+
+    ``q``/``k``/``v`` are ``[B, heads, head_dim]`` — one decode token per
+    session.  Each session runs the same shared
+    :func:`repro.llm.layers.attend` core the sequential path uses, so
+    batched and sequential execution produce bit-identical contexts.
+    """
+    arch = block.arch
+    contexts = []
+    for i, cache in enumerate(caches):
+        cache.append(k[i:i + 1], v[i:i + 1])
+        k_all, v_all = cache.stacked()
+        contexts.append(
+            attend(q[i:i + 1], k_all, v_all, positions[i:i + 1], arch)
+        )
+    return np.concatenate(contexts, axis=0)
+
+
+def _batched_block_forward(
+    block, x: np.ndarray, positions: np.ndarray,
+    caches: Sequence[KVCache], stats: Optional[BatchStats],
+) -> np.ndarray:
+    """One transformer block over a ``[B, hidden]`` batch of decode tokens."""
+    arch = block.arch
+    attention = block.attention
+    batch = x.shape[0]
+
+    h = rms_norm(x, block.input_norm_weight)
+    q_flat, k_flat, v_flat = shared_input_forward(
+        [attention.q_proj, attention.k_proj, attention.v_proj], h, stats
+    )
+    q = q_flat.reshape(batch, arch.num_heads, arch.head_dim)
+    k = k_flat.reshape(batch, arch.num_kv_heads, arch.head_dim)
+    v = v_flat.reshape(batch, arch.num_kv_heads, arch.head_dim)
+    q = apply_rope(q, attention._cos, attention._sin, positions)
+    k = apply_rope(k, attention._cos, attention._sin, positions)
+
+    context = _batched_attention(block, q, k, v, positions, caches)
+    # Single-operator calls still go through the helper so the LUT-build
+    # counters cover every projection, not only the shared ones.
+    x = x + shared_input_forward([attention.o_proj], context, stats)[0]
+
+    h = rms_norm(x, block.post_attn_norm_weight)
+    gate_out, up_out = shared_input_forward(
+        [block.mlp.gate_proj, block.mlp.up_proj], h, stats
+    )
+    mlp_out = shared_input_forward(
+        [block.mlp.down_proj], silu(gate_out) * up_out, stats
+    )[0]
+    return x + mlp_out
+
+
+def batched_decode_step(
+    model: TransformerModel,
+    tokens: Sequence[int],
+    positions: Sequence[int],
+    caches: Sequence[List[KVCache]],
+    stats: Optional[BatchStats] = None,
+) -> np.ndarray:
+    """One decode step for ``B`` sessions: ``[B]`` tokens -> ``[B, vocab]``.
+
+    Parameters
+    ----------
+    model:
+        The shared transformer (weights and kernels are request-agnostic).
+    tokens / positions:
+        The current token and absolute position of each session.
+    caches:
+        Per-session per-layer KV caches; each session's caches are appended
+        to in place, exactly as a sequential forward would.
+    """
+    token_arr = np.asarray(tokens, dtype=np.int64)
+    position_arr = np.asarray(positions, dtype=np.int64)
+    if token_arr.ndim != 1 or token_arr.size == 0:
+        raise ValueError("tokens must be a non-empty 1-D sequence")
+    if token_arr.shape != position_arr.shape:
+        raise ValueError("tokens and positions must have matching lengths")
+    if len(caches) != token_arr.size:
+        raise ValueError("one KV-cache list per session is required")
+    if token_arr.max() >= model.arch.vocab_size or token_arr.min() < 0:
+        raise ValueError("token id out of range")
+    if position_arr.max() >= model.arch.max_seq_len:
+        raise ValueError("position exceeds max_seq_len")
+
+    x = model.embedding[token_arr]
+    for layer_index, block in enumerate(model.blocks):
+        layer_caches = [session_caches[layer_index]
+                        for session_caches in caches]
+        x = _batched_block_forward(block, x, position_arr, layer_caches, stats)
+    x = rms_norm(x, model.final_norm_weight)
+    logits = shared_input_forward([model.lm_head], x, stats)[0]
+    if stats is not None:
+        stats.record_step(int(token_arr.size))
+    return logits

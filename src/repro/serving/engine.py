@@ -1,0 +1,256 @@
+"""The serving engine: continuous batching over inference sessions.
+
+:class:`ServingEngine` accepts generation requests at any time
+(:meth:`~ServingEngine.submit`), admits them into a bounded running batch,
+and advances every active session by one token per :meth:`~ServingEngine.step`
+— a single batched forward pass in which each linear layer executes one
+mpGEMM over all sessions' current tokens (:mod:`repro.serving.batch`).
+Sessions join mid-flight as slots free up and leave the moment they finish
+(continuous batching, vLLM-style scheduling at token granularity), so the
+batch never drains to refill.
+
+Prefill runs per session on admission (prompt lengths differ; the prompt
+pass is compute-bound mpGEMM already).  Decode — the memory-bound phase the
+paper targets — is where batching pays: every step amortizes one traversal
+of the packed weights over the whole batch.
+
+Determinism: all cross-step state lives in the sessions (KV caches,
+positions, per-session rngs), so batched outputs are identical to running
+each request alone — the serving tests assert token-level equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.plan import plan_cache_stats
+from repro.llm.inference import GenerationResult
+from repro.llm.model import TransformerModel
+from repro.serving.batch import BatchStats, batched_decode_step
+from repro.serving.session import InferenceSession, SamplingParams, SessionState
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Continuous-batching inference engine over one shared model.
+
+    Parameters
+    ----------
+    model:
+        The transformer every session runs through.  Its weights/kernels
+        are stateless across requests; per-request state lives in the
+        sessions.
+    max_batch_size:
+        Maximum number of concurrently active (decoding) sessions.
+        Further submissions queue until a slot frees up.
+    """
+
+    def __init__(self, model: TransformerModel, max_batch_size: int = 8):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.sessions: Dict[int, InferenceSession] = {}
+        self._waiting: List[int] = []
+        self._active: List[int] = []
+        self.stats = BatchStats()
+        self._prefills = 0
+        self._decode_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        prompt_tokens,
+        max_new_tokens: int = 16,
+        temperature: float = 0.0,
+        stop_token: Optional[int] = None,
+        seed: int = 0,
+    ) -> int:
+        """Queue a generation request; returns its session id.
+
+        Invalid requests (empty prompt, out-of-vocabulary tokens, prompt
+        longer than the context window) are rejected here, at submission —
+        not mid-batch, where a failure would take the whole step down.
+        """
+        prompt = [int(t) for t in prompt_tokens]
+        arch = self.model.arch
+        if not prompt:
+            raise ValueError("prompt_tokens must be non-empty")
+        if any(t < 0 or t >= arch.vocab_size for t in prompt):
+            raise ValueError(
+                f"prompt contains token ids outside [0, {arch.vocab_size})"
+            )
+        if len(prompt) > arch.max_seq_len:
+            raise ValueError(
+                f"prompt length {len(prompt)} exceeds max_seq_len "
+                f"{arch.max_seq_len}"
+            )
+        params = SamplingParams(
+            max_new_tokens=max_new_tokens,
+            temperature=temperature,
+            stop_token=stop_token,
+            seed=seed,
+        )
+        session = InferenceSession(prompt_tokens=prompt, params=params)
+        self.sessions[session.session_id] = session
+        self._waiting.append(session.session_id)
+        self._decode_counts[session.session_id] = 0
+        return session.session_id
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests queued but not yet admitted."""
+        return len(self._waiting)
+
+    @property
+    def num_active(self) -> int:
+        """Sessions currently in the running batch."""
+        return len(self._active)
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is still waiting or decoding."""
+        return bool(self._waiting or self._active)
+
+    def _prefill(self, session: InferenceSession) -> None:
+        """Run the prompt pass for a newly admitted session."""
+        session.caches = self.model.new_cache()
+        logits = self.model.forward(
+            np.asarray(session.prompt_tokens), caches=session.caches,
+            start_position=0,
+        )
+        session.position = len(session.prompt_tokens)
+        session.last_logits = logits[-1]
+        session.state = SessionState.ACTIVE
+        self._prefills += 1
+        # advance() itself finishes zero-budget sessions without sampling.
+        session.advance(self.model.arch.max_seq_len)
+
+    def _admit(self) -> None:
+        """Move waiting sessions into the batch while slots are free."""
+        while self._waiting and len(self._active) < self.max_batch_size:
+            session_id = self._waiting.pop(0)
+            session = self.sessions[session_id]
+            self._prefill(session)
+            if not session.finished:
+                self._active.append(session_id)
+
+    def _retire_finished(self) -> None:
+        self._active = [sid for sid in self._active
+                        if not self.sessions[sid].finished]
+
+    def step(self) -> Dict[str, int]:
+        """Admit, run one batched decode step, retire finished sessions.
+
+        Returns a small summary (batch size, active/waiting counts) so
+        callers can drive scheduling loops and benchmarks.
+        """
+        self._admit()
+        batch = [self.sessions[sid] for sid in self._active
+                 if self.sessions[sid].pending_token is not None]
+        if batch:
+            tokens = [session.pending_token for session in batch]
+            positions = [session.position for session in batch]
+            caches = [session.caches for session in batch]
+            logits = batched_decode_step(
+                self.model, tokens, positions, caches, self.stats
+            )
+            for row, session in enumerate(batch):
+                session.pending_token = None
+                session.position += 1
+                session.last_logits = logits[row]
+                self._decode_counts[session.session_id] += 1
+                session.advance(self.model.arch.max_seq_len)
+        self._retire_finished()
+        return {
+            "batch_size": len(batch),
+            "active": self.num_active,
+            "waiting": self.num_waiting,
+        }
+
+    def run(self, max_steps: Optional[int] = None) -> Dict[int, GenerationResult]:
+        """Drive :meth:`step` until every submitted request completes.
+
+        ``max_steps`` bounds the loop for tests; ``None`` runs to drain.
+        Returns one :class:`~repro.llm.inference.GenerationResult` per
+        session id.
+        """
+        steps = 0
+        while self.has_work:
+            if max_steps is not None and steps >= max_steps:
+                break
+            self.step()
+            steps += 1
+        return self.results()
+
+    def results(self) -> Dict[int, GenerationResult]:
+        """Generation results of all finished sessions so far."""
+        out: Dict[int, GenerationResult] = {}
+        for session_id, session in self.sessions.items():
+            if not session.finished:
+                continue
+            out[session_id] = self._result_for(session)
+        return out
+
+    def _result_for(self, session) -> GenerationResult:
+        return GenerationResult(
+            prompt_tokens=list(session.prompt_tokens),
+            generated_tokens=list(session.generated_tokens),
+            prefill_length=len(session.prompt_tokens),
+            decode_steps=self._decode_counts[session.session_id],
+        )
+
+    def release(self, session_id: int) -> GenerationResult:
+        """Remove a finished session from the engine, returning its result.
+
+        Finished sessions already dropped their KV caches; releasing them
+        removes the remaining bookkeeping so a long-running engine's memory
+        stays proportional to the in-flight request set.  Releasing a
+        session that is still waiting or decoding raises ``ValueError``.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown session id {session_id}")
+        if not session.finished:
+            raise ValueError(
+                f"session {session_id} is {session.state.value}; only "
+                "finished sessions can be released"
+            )
+        result = self._result_for(session)
+        del self.sessions[session_id]
+        del self._decode_counts[session_id]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def serving_stats(self) -> Dict[str, float]:
+        """Batching and cache counters (used by the serving benchmark).
+
+        The ``global_plan_cache_*`` entries report the *process-wide* plan
+        cache (shared with every other engine and every ``tmac_gemm`` call
+        in the process), not per-engine traffic — the prefix makes the
+        scope explicit.
+        """
+        plan_stats = plan_cache_stats()
+        return {
+            "prefills": self._prefills,
+            "decode_steps": self.stats.decode_steps,
+            "batched_tokens": self.stats.batched_tokens,
+            "mean_batch_size": self.stats.mean_batch_size,
+            "lut_precomputes": self.stats.lut_precomputes,
+            "lut_reuses": self.stats.lut_reuses,
+            "global_plan_cache_hits": plan_stats["hits"],
+            "global_plan_cache_misses": plan_stats["misses"],
+        }

@@ -1,0 +1,134 @@
+"""Per-request inference sessions.
+
+An :class:`InferenceSession` owns everything that belongs to one generation
+request: the prompt, the per-layer KV caches, the absolute decode position,
+the sampling state (its *own* rng, so batched and sequential execution draw
+identical samples), and the termination bookkeeping.  The continuous-
+batching scheduler (:mod:`repro.serving.engine`) freely interleaves decode
+steps from many sessions because every piece of cross-step state lives
+here, not in the model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.llm.inference import sample_token
+from repro.llm.layers import KVCache
+
+__all__ = ["SessionState", "SamplingParams", "InferenceSession"]
+
+_session_counter = itertools.count()
+
+
+class SessionState(Enum):
+    """Lifecycle of a request inside the serving engine."""
+
+    WAITING = "waiting"  # submitted, not yet admitted to the batch
+    ACTIVE = "active"  # prefilled, decoding one token per engine step
+    FINISHED = "finished"  # hit max tokens / stop token / context limit
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Per-request sampling configuration."""
+
+    max_new_tokens: int = 16
+    temperature: float = 0.0
+    stop_token: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+
+
+@dataclass
+class InferenceSession:
+    """State of one in-flight generation request."""
+
+    prompt_tokens: List[int]
+    params: SamplingParams = field(default_factory=SamplingParams)
+    session_id: int = field(default_factory=lambda: next(_session_counter))
+    state: SessionState = SessionState.WAITING
+    generated_tokens: List[int] = field(default_factory=list)
+    caches: Optional[List[KVCache]] = None
+    #: Absolute position of the *next* token to be fed to the model.
+    position: int = 0
+    #: Most recent logits row; the next sample is drawn from it.
+    last_logits: Optional[np.ndarray] = None
+    #: Token waiting to be fed through the model at the next decode step.
+    pending_token: Optional[int] = None
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.prompt_tokens = [int(t) for t in self.prompt_tokens]
+        if not self.prompt_tokens:
+            raise ValueError("prompt_tokens must be non-empty")
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.params.seed)
+
+    @property
+    def tokens(self) -> List[int]:
+        """Prompt + generated tokens."""
+        return list(self.prompt_tokens) + list(self.generated_tokens)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the request has completed."""
+        return self.state is SessionState.FINISHED
+
+    def sample(self) -> int:
+        """Draw the next token from ``last_logits`` (greedy or temperature).
+
+        Uses the same :func:`repro.llm.inference.sample_token` as the
+        sequential generator, so batched and sequential decoding draw
+        identical samples from identical logits.
+        """
+        if self.last_logits is None:
+            raise RuntimeError("no logits available; session not prefilled")
+        return sample_token(self.last_logits, self.params.temperature,
+                            self._rng)
+
+    def advance(self, max_seq_len: int) -> None:
+        """Sample one token and update the termination/pending state.
+
+        Mirrors the sequential :class:`repro.llm.inference.Generator` loop
+        exactly: nothing is sampled once the budget is spent (a zero-budget
+        request generates zero tokens); after a token is recorded, the
+        session finishes if it was the stop token, the generation budget is
+        exhausted, or the context window is full; otherwise the token is
+        queued for the next batched forward pass.
+        """
+        if len(self.generated_tokens) >= self.params.max_new_tokens:
+            self.finish()
+            return
+        token = self.sample()
+        self.generated_tokens.append(token)
+        params = self.params
+        if params.stop_token is not None and token == params.stop_token:
+            self.finish()
+        elif len(self.generated_tokens) >= params.max_new_tokens:
+            self.finish()
+        elif self.position >= max_seq_len - 1:
+            self.finish()
+        else:
+            self.pending_token = token
+
+    def finish(self) -> None:
+        """Mark the session complete and release its per-request memory.
+
+        The KV caches are the bulk of a session's footprint and are dead
+        weight once generation ends; dropping them here keeps a
+        long-running engine's memory bounded by the *active* batch, not by
+        the request history.
+        """
+        self.state = SessionState.FINISHED
+        self.pending_token = None
+        self.caches = None
+        self.last_logits = None

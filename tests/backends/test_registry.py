@@ -1,0 +1,151 @@
+"""Backend registry: registration round-trip, aliases, cost models."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    Backend,
+    BLASBackend,
+    DequantBackend,
+    GPUBackend,
+    NPUBackend,
+    ReferenceBackend,
+    TMACBackend,
+    UnknownBackendError,
+    backend_aliases,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.backends.registry import _ALIASES, _FACTORIES
+from repro.hardware import JETSON_AGX_ORIN, M2_ULTRA
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+class TestRegistryRoundTrip:
+    def test_builtin_backends_listed(self):
+        names = list_backends()
+        for expected in ("reference", "llama.cpp", "tmac", "tmac-fa",
+                         "blas", "gpu", "npu"):
+            assert expected in names
+
+    def test_get_by_canonical_name_and_alias(self):
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+        assert isinstance(get_backend("fp"), ReferenceBackend)
+        assert isinstance(get_backend("dequant"), DequantBackend)
+        assert isinstance(get_backend("llamacpp"), DequantBackend)
+        assert isinstance(get_backend("tmac"), TMACBackend)
+        assert isinstance(get_backend("T-MAC"), TMACBackend)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_backend("TMAC"), TMACBackend)
+        assert isinstance(get_backend("Reference"), ReferenceBackend)
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(UnknownBackendError):
+            get_backend("tpu")
+        with pytest.raises(ValueError):  # UnknownBackendError is a ValueError
+            get_backend("does-not-exist")
+        with pytest.raises(UnknownBackendError):
+            backend_aliases("tpu")
+
+    def test_register_and_get_custom_backend(self):
+        class NullBackend(Backend):
+            name = "null-test"
+
+            def __init__(self, **_ignored):
+                pass
+
+        try:
+            register_backend("null-test", NullBackend, aliases=("nt",))
+            assert isinstance(get_backend("null-test"), NullBackend)
+            assert isinstance(get_backend("nt"), NullBackend)
+            assert "null-test" in backend_aliases("nt")
+        finally:
+            _FACTORIES.pop("null-test", None)
+            for alias in ("null-test", "nt"):
+                _ALIASES.pop(alias, None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("tmac", TMACBackend)
+
+    def test_tmac_fa_variant(self):
+        backend = get_backend("tmac-fa", bits=4)
+        assert backend.config.fast_aggregation
+        assert "FA" in backend.name
+
+    def test_tmac_fa_with_explicit_config(self):
+        """An explicit config must not silently drop fast aggregation."""
+        from repro.core.config import TMACConfig
+
+        backend = get_backend("tmac-fa", config=TMACConfig(bits=4))
+        assert backend.config.fast_aggregation
+        assert "FA" in backend.name
+
+
+class TestNumericBackends:
+    def setup_method(self):
+        self.weight = gaussian_weights(16, 64, seed=0)
+        self.activation = gaussian_activation(2, 64, seed=1)
+
+    def test_uniform_kwargs_accepted_by_all_numeric_backends(self):
+        for name in ("reference", "dequant", "tmac", "tmac-fa"):
+            backend = get_backend(name, bits=4, group_size=32,
+                                  fast_aggregation=False, bitnet=False)
+            linear = backend.make_linear(self.weight)
+            out = linear(self.activation)
+            assert out.shape == (2, 16)
+
+    def test_reference_weight_bytes_is_fp32(self):
+        linear = get_backend("reference").make_linear(self.weight)
+        assert linear.weight_bytes == self.weight.size * 4
+
+    def test_tmac_linear_exposes_kernel(self):
+        linear = get_backend("tmac", bits=4, group_size=32).make_linear(
+            self.weight)
+        assert linear.kernel is not None
+        table = linear.kernel.precompute(self.activation)
+        np.testing.assert_array_equal(
+            linear.kernel.matmul_with_table(self.activation, table),
+            linear(self.activation),
+        )
+
+
+class TestCostModelBackends:
+    def test_kind_markers(self):
+        assert get_backend("tmac").kind == "numeric"
+        for name in ("blas", "gpu", "npu"):
+            assert get_backend(name).kind == "cost-model"
+
+    def test_cost_backends_refuse_numeric_execution(self):
+        for name in ("blas", "gpu", "npu"):
+            with pytest.raises(NotImplementedError):
+                get_backend(name).make_linear(np.zeros((4, 8), dtype=np.float32))
+
+    def test_blas_latency(self):
+        latency = get_backend("blas").estimate_latency(
+            M2_ULTRA, n=256, m=4096, k=4096, bits=4)
+        assert latency.seconds > 0
+
+    def test_gpu_latency(self):
+        latency = get_backend("gpu").estimate_latency(
+            JETSON_AGX_ORIN, n=1, m=4096, k=4096, bits=4)
+        assert latency.seconds > 0
+
+    def test_numeric_backend_has_no_cost_model(self):
+        with pytest.raises(NotImplementedError):
+            get_backend("reference").estimate_latency(
+                M2_ULTRA, n=1, m=16, k=16, bits=4)
+
+    def test_npu_backend_wraps_published_numbers(self):
+        backend = get_backend("npu")
+        assert isinstance(backend, NPUBackend)
+        # Devices without an NPU yield None rather than raising.
+        assert backend.tokens_per_sec(M2_ULTRA, "llama-2-7b-4bit") is None
+
+
+class TestBackendReprAndTypes:
+    def test_concrete_types(self):
+        assert isinstance(get_backend("blas"), BLASBackend)
+        assert isinstance(get_backend("gpu"), GPUBackend)
