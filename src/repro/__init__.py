@@ -31,7 +31,15 @@ The package is organised as a set of subsystems:
     Production-style serving on the numerical path: per-request
     :class:`~repro.serving.session.InferenceSession` state and a
     continuous-batching :class:`~repro.serving.engine.ServingEngine` that
-    coalesces concurrent decode steps into one batched mpGEMM per layer.
+    coalesces concurrent decode steps into one batched mpGEMM per layer,
+    scheduling KV memory through ``repro.kvcache`` when given a byte
+    budget.
+
+``repro.kvcache``
+    Paged KV-cache management: a refcounted block allocator over a fixed
+    byte budget, a token-keyed prefix cache sharing physical pages between
+    requests, and :class:`~repro.kvcache.paged.PagedKVCache`, a drop-in
+    for the per-layer :class:`~repro.llm.layers.KVCache`.
 
 ``repro.simd``
     A SIMD instruction-counting machine that executes the T-MAC and the
@@ -61,6 +69,7 @@ from repro.core.plan import (
     get_plan,
     plan_cache_stats,
 )
+from repro.kvcache import PagePool
 from repro.quant.uniform import QuantizedWeight, quantize_weights
 from repro.serving import InferenceSession, ServingEngine
 
@@ -82,5 +91,6 @@ __all__ = [
     "list_backends",
     "ServingEngine",
     "InferenceSession",
+    "PagePool",
     "__version__",
 ]

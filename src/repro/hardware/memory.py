@@ -10,6 +10,12 @@ smaller operands:
 
 :class:`MemoryModel` encapsulates those two effects so the cost model can
 stay a clean roofline.
+
+The module also owns the KV-cache page accounting used by the paged KV
+manager (:mod:`repro.kvcache`): a *page* (block) holds ``block_size`` token
+positions of keys *and* values for every layer, so sizing a byte budget in
+pages is a pure function of the architecture dimensions
+(:func:`kv_block_bytes`, :func:`kv_blocks_for_budget`).
 """
 
 from __future__ import annotations
@@ -18,11 +24,48 @@ from dataclasses import dataclass
 
 from repro.hardware.device import CPUSpec
 
-__all__ = ["MemoryModel", "DRAM_TRANSACTION_BYTES"]
+__all__ = [
+    "MemoryModel",
+    "DRAM_TRANSACTION_BYTES",
+    "kv_block_bytes",
+    "kv_blocks_for_budget",
+]
 
 #: Typical DRAM/LPDDR transaction granularity; partial use of a transaction
 #: (strided access) wastes the rest of it.
 DRAM_TRANSACTION_BYTES = 64
+
+
+def kv_block_bytes(num_layers: int, kv_heads: int, head_dim: int,
+                   block_size: int, bytes_per_value: int = 4) -> int:
+    """Bytes of one KV page: ``block_size`` positions, K and V, all layers.
+
+    The paged KV manager allocates whole pages, so this is the granularity
+    at which a byte budget is carved up.  ``bytes_per_value`` defaults to 4
+    (the numerical path stores caches in fp32); the analytic models can pass
+    2 for fp16 deployments.
+    """
+    if min(num_layers, kv_heads, head_dim, block_size, bytes_per_value) < 1:
+        raise ValueError("all KV page dimensions must be >= 1")
+    return 2 * num_layers * block_size * kv_heads * head_dim * bytes_per_value
+
+
+def kv_blocks_for_budget(budget_bytes: int, block_bytes: int) -> int:
+    """Number of whole KV pages a byte budget can hold (>= 1 required).
+
+    Raises ``ValueError`` when the budget cannot hold even a single page —
+    a misconfiguration better caught at pool construction than as a
+    zero-capacity allocator that rejects every request.
+    """
+    if block_bytes < 1:
+        raise ValueError("block_bytes must be >= 1")
+    blocks = int(budget_bytes) // int(block_bytes)
+    if blocks < 1:
+        raise ValueError(
+            f"KV budget of {budget_bytes} bytes holds no page of "
+            f"{block_bytes} bytes; raise the budget or shrink the page"
+        )
+    return blocks
 
 
 @dataclass

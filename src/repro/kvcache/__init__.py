@@ -1,0 +1,39 @@
+"""Paged KV-cache management: block allocator, prefix sharing, paged caches.
+
+The paper's LUT-based mpGEMM makes decode compute cheap, which moves the
+serving bottleneck to KV memory.  This subsystem applies the same
+memory-hierarchy discipline to the KV working set that the kernel applies
+to weight tiles:
+
+* :mod:`repro.kvcache.allocator` — :class:`BlockAllocator`: a fixed pool of
+  page ids with refcounting, copy-on-write-friendly sharing, and LRU
+  eviction of cached-but-unreferenced pages.
+* :mod:`repro.kvcache.prefix` — :class:`PrefixCache`: a chained token-keyed
+  trie over *full* pages, so requests sharing a prompt prefix map the same
+  physical pages (SGLang-style radix reuse).
+* :mod:`repro.kvcache.paged` — :class:`PagedSessionCache` (one block table
+  per request) and :class:`PagedKVCache`, the per-layer drop-in for
+  :class:`repro.llm.layers.KVCache`.
+* :mod:`repro.kvcache.pool` — :class:`PagePool`: the preallocated
+  byte-budgeted storage tying the three together.
+
+The serving engine (:mod:`repro.serving.engine`) schedules against this
+pool: admission by free-page count, preemption-and-requeue when a decode
+step cannot get a page, and chunked prefill so long prompts do not stall
+the running batch.
+"""
+
+from repro.kvcache.allocator import BlockAllocator, OutOfBlocks
+from repro.kvcache.paged import PagedKVCache, PagedSessionCache
+from repro.kvcache.pool import DEFAULT_BLOCK_SIZE, PagePool
+from repro.kvcache.prefix import PrefixCache
+
+__all__ = [
+    "BlockAllocator",
+    "OutOfBlocks",
+    "PrefixCache",
+    "PagedKVCache",
+    "PagedSessionCache",
+    "PagePool",
+    "DEFAULT_BLOCK_SIZE",
+]

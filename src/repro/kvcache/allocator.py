@@ -1,0 +1,152 @@
+"""Refcounted block allocator over a fixed pool of KV pages.
+
+The allocator hands out integer block ids from a fixed-size pool and tracks
+three disjoint populations:
+
+* **free** — never allocated, or released while uncached; reusable
+  immediately.
+* **referenced** — held by at least one session (``refcount >= 1``).
+* **evictable** — refcount dropped to zero but the block was registered in
+  the prefix cache (:mod:`repro.kvcache.prefix`), so its contents may still
+  be reused by a future request.  Evictable blocks are kept in LRU order
+  and reclaimed only when the free list runs dry; reclaiming one fires the
+  ``on_evict`` hook so the prefix cache unlinks it.
+
+Copy-on-write forks (:meth:`repro.kvcache.paged.PagedSessionCache.fork`)
+and prefix hits express sharing purely through :meth:`BlockAllocator.retain`
+— the allocator never inspects page contents.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Dict, Optional
+
+__all__ = ["OutOfBlocks", "BlockAllocator"]
+
+
+class OutOfBlocks(RuntimeError):
+    """No free or evictable block is available.
+
+    The serving engine turns this into scheduling policy (queue the request,
+    or preempt the youngest running session); callers using the pool
+    directly see it as a hard capacity error.
+    """
+
+
+class BlockAllocator:
+    """Fixed-pool block allocator with refcounting and LRU reuse.
+
+    Parameters
+    ----------
+    num_blocks:
+        Total number of pages in the pool (the byte budget divided by the
+        page size; see :func:`repro.hardware.memory.kv_blocks_for_budget`).
+    on_evict:
+        Called with a block id whenever a cached-but-unreferenced block is
+        reclaimed to satisfy an allocation, so the owner of the block's
+        content key (the prefix cache) can forget it.
+    """
+
+    def __init__(self, num_blocks: int,
+                 on_evict: Optional[Callable[[int], None]] = None):
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.on_evict = on_evict
+        self._free = deque(range(num_blocks))
+        self._refcounts: Dict[int, int] = {}
+        #: blocks with refcount 0 whose contents are still prefix-cached,
+        #: in LRU order (oldest release first = first to be reclaimed).
+        self._evictable: "OrderedDict[int, None]" = OrderedDict()
+        self._cached: set = set()
+        self.evictions = 0
+        self.peak_used_blocks = 0
+        #: blocks currently referenced by more than one holder, maintained
+        #: incrementally so per-step stats stay O(1) in pool size.
+        self.num_shared = 0
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_free(self) -> int:
+        """Blocks allocatable right now (truly free + evictable)."""
+        return len(self._free) + len(self._evictable)
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently referenced by at least one session."""
+        return len(self._refcounts)
+
+    def refcount(self, block_id: int) -> int:
+        """Current reference count (0 for free/evictable blocks)."""
+        return self._refcounts.get(block_id, 0)
+
+    def is_cached(self, block_id: int) -> bool:
+        """Whether the block's contents are registered in the prefix cache."""
+        return block_id in self._cached
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def allocate(self) -> int:
+        """Return a block with refcount 1, evicting an LRU block if needed."""
+        if self._free:
+            block_id = self._free.popleft()
+        elif self._evictable:
+            block_id, _ = self._evictable.popitem(last=False)
+            self._cached.discard(block_id)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(block_id)
+        else:
+            raise OutOfBlocks(
+                f"all {self.num_blocks} KV blocks are referenced"
+            )
+        self._refcounts[block_id] = 1
+        self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+        return block_id
+
+    def retain(self, block_id: int) -> None:
+        """Add a reference; revives an evictable (prefix-hit) block."""
+        if block_id in self._refcounts:
+            self._refcounts[block_id] += 1
+            if self._refcounts[block_id] == 2:
+                self.num_shared += 1
+        elif block_id in self._evictable:
+            del self._evictable[block_id]
+            self._refcounts[block_id] = 1
+            self.peak_used_blocks = max(self.peak_used_blocks,
+                                        self.used_blocks)
+        else:
+            raise KeyError(f"block {block_id} is not allocated")
+
+    def release(self, block_id: int) -> None:
+        """Drop one reference.
+
+        At refcount zero a prefix-cached block parks on the LRU evictable
+        list (its contents may serve a future prefix hit); an uncached block
+        returns straight to the free list.
+        """
+        count = self._refcounts.get(block_id)
+        if count is None:
+            raise KeyError(f"block {block_id} is not allocated")
+        if count > 1:
+            self._refcounts[block_id] = count - 1
+            if count == 2:
+                self.num_shared -= 1
+            return
+        del self._refcounts[block_id]
+        if block_id in self._cached:
+            self._evictable[block_id] = None  # most-recently released = last
+        else:
+            self._free.append(block_id)
+
+    def mark_cached(self, block_id: int) -> None:
+        """Flag a referenced block as prefix-cached (evictable-on-release)."""
+        if block_id not in self._refcounts:
+            raise KeyError(f"block {block_id} is not allocated")
+        self._cached.add(block_id)

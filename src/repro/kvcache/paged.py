@@ -1,0 +1,266 @@
+"""Block-table-backed KV caches over a shared page pool.
+
+A session's KV state is a **block table**: an ordered list of physical page
+ids in the :class:`~repro.kvcache.pool.PagePool`.  One table serves every
+layer (page ``b`` holds positions ``b*block_size .. (b+1)*block_size-1``
+for *all* layers), so prefix sharing and copy-on-write operate on whole
+token ranges, never per layer.
+
+:class:`PagedKVCache` is the per-layer view handed to the model — a drop-in
+for :class:`repro.llm.layers.KVCache`: it implements the same
+``append`` / ``stacked`` / ``length`` / ``memory_bytes`` contract, so
+``TransformerModel.forward`` and the batched decode path run unmodified on
+paged storage.  ``stacked`` gathers the pages into the contiguous
+``[total, kv_heads, head_dim]`` arrays :func:`repro.llm.layers.attend`
+consumes; the gathered values are bit-identical to what an unpaged cache
+holds, so attention outputs are too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kvcache.allocator import OutOfBlocks
+
+__all__ = ["PagedKVCache", "PagedSessionCache"]
+
+
+class PagedSessionCache:
+    """One session's block table plus per-layer fill state.
+
+    Created by :meth:`repro.kvcache.pool.PagePool.create_session_cache`
+    (which seeds the table with prefix-cache hits).  The serving engine
+    calls :meth:`reserve` *before* each forward so an out-of-memory
+    condition surfaces as schedulable :class:`OutOfBlocks` instead of a
+    half-written step; :meth:`append` also auto-grows for standalone use.
+    """
+
+    def __init__(self, pool, block_ids: Sequence[int], prefix_tokens: int,
+                 chain_key):
+        self.pool = pool
+        self.block_table: List[int] = list(block_ids)
+        #: tokens per layer already present (prefix hits fill all layers).
+        self._lengths: List[int] = [prefix_tokens] * pool.num_layers
+        self.prefix_length = prefix_tokens
+        self._committed_blocks = len(self.block_table)
+        self._chain_key = chain_key
+        self._released = False
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def block_size(self) -> int:
+        return self.pool.block_size
+
+    @property
+    def capacity(self) -> int:
+        """Token positions the current block table can hold."""
+        return len(self.block_table) * self.block_size
+
+    @property
+    def num_tokens(self) -> int:
+        """Positions written in every layer (a full forward keeps layers equal)."""
+        return min(self._lengths) if self._lengths else 0
+
+    def blocks_needed(self, num_tokens: int) -> int:
+        """Additional pages required to hold ``num_tokens`` positions."""
+        total = -(-num_tokens // self.block_size)  # ceil division
+        return max(0, total - len(self.block_table))
+
+    def reserve(self, num_tokens: int) -> int:
+        """Grow the block table to cover ``num_tokens`` positions.
+
+        All-or-nothing: on :class:`OutOfBlocks` any pages grabbed by this
+        call are returned before the exception propagates, so a failed
+        reservation leaves the table unchanged (the engine requeues or
+        preempts without leaking pages).
+        """
+        self._check_live()
+        needed = self.blocks_needed(num_tokens)
+        grabbed: List[int] = []
+        try:
+            for _ in range(needed):
+                grabbed.append(self.pool.allocator.allocate())
+        except OutOfBlocks:
+            for block_id in grabbed:
+                self.pool.allocator.release(block_id)
+            raise
+        self.block_table.extend(grabbed)
+        return needed
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+
+    def write(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``[seq, kv_heads, head_dim]`` keys/values for one layer."""
+        self._check_live()
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        start = self._lengths[layer]
+        end = start + k.shape[0]
+        if end > self.capacity:
+            self.reserve(end)
+        bs = self.block_size
+        row = 0
+        position = start
+        while position < end:
+            block_index = position // bs
+            slot = position % bs
+            take = min(bs - slot, end - position)
+            block_id = self._writable_block(block_index)
+            self.pool.keys[block_id, layer, slot:slot + take] = \
+                k[row:row + take]
+            self.pool.values[block_id, layer, slot:slot + take] = \
+                v[row:row + take]
+            row += take
+            position += take
+        self._lengths[layer] = end
+
+    def _writable_block(self, block_index: int) -> int:
+        """Copy-on-write: writing a shared page first forks a private copy."""
+        block_id = self.block_table[block_index]
+        if self.pool.allocator.refcount(block_id) <= 1:
+            return block_id
+        fresh = self.pool.allocator.allocate()
+        self.pool.keys[fresh] = self.pool.keys[block_id]
+        self.pool.values[fresh] = self.pool.values[block_id]
+        self.pool.allocator.release(block_id)
+        self.block_table[block_index] = fresh
+        # The fork diverges from the committed chain at this page; stop
+        # extending the shared chain from here.
+        self._committed_blocks = min(self._committed_blocks, block_index)
+        self._chain_key = None if block_index == 0 else self._chain_key
+        self.pool.cow_forks += 1
+        return fresh
+
+    def gather(self, layer: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``[total, kv_heads, head_dim]`` keys and values."""
+        self._check_live()
+        n = self._lengths[layer]
+        if n == 0:
+            raise ValueError("KV cache is empty")
+        bs = self.block_size
+        num_blocks = -(-n // bs)
+        ids = self.block_table[:num_blocks]
+        k = self.pool.keys[ids, layer].reshape(num_blocks * bs, *self.pool.kv_shape)[:n]
+        v = self.pool.values[ids, layer].reshape(num_blocks * bs, *self.pool.kv_shape)[:n]
+        return k, v
+
+    # ------------------------------------------------------------------ #
+    # Sharing
+    # ------------------------------------------------------------------ #
+
+    def fork(self) -> "PagedSessionCache":
+        """A new cache sharing every page (copy-on-write on first append).
+
+        Mirrors vLLM's sequence fork (beam search / n-best sampling): the
+        child costs zero pages until one side writes into the shared tail
+        page, at which point :meth:`_writable_block` gives the writer a
+        private copy.
+        """
+        self._check_live()
+        for block_id in self.block_table:
+            self.pool.allocator.retain(block_id)
+        child = PagedSessionCache(self.pool, self.block_table,
+                                  prefix_tokens=0, chain_key=self._chain_key)
+        child._lengths = list(self._lengths)
+        child.prefix_length = self.prefix_length
+        child._committed_blocks = self._committed_blocks
+        return child
+
+    def commit_prefix(self, tokens: Sequence[int]) -> int:
+        """Register newly filled full pages in the prefix cache.
+
+        ``tokens`` is the session's token history; positions up to
+        :attr:`num_tokens` have their K/V written in every layer, so each
+        complete page among them is immutable from here on and safe to
+        share.  Returns the number of pages newly registered.
+        """
+        self._check_live()
+        prefix = self.pool.prefix_cache
+        if prefix is None:
+            return 0
+        full_blocks = self.num_tokens // self.block_size
+        registered = 0
+        for index in range(self._committed_blocks, full_blocks):
+            start = index * self.block_size
+            key = prefix.chain_key(self._chain_key,
+                                   tokens[start:start + self.block_size])
+            if prefix.insert(key, self.block_table[index]):
+                self.pool.allocator.mark_cached(self.block_table[index])
+                registered += 1
+            self._chain_key = key
+            self._committed_blocks = index + 1
+        return registered
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def release(self) -> None:
+        """Drop every page reference; cached pages become LRU-evictable.
+
+        References are dropped leaf-first (reverse table order) so the LRU
+        evictor reclaims the *tail* of a cached prefix chain before its
+        root — evicting the root first would orphan every descendant page,
+        since :meth:`~repro.kvcache.prefix.PrefixCache.match` can only
+        reach them by walking the chain from the root.
+        """
+        if self._released:
+            return
+        for block_id in reversed(self.block_table):
+            self.pool.allocator.release(block_id)
+        self.block_table = []
+        self._lengths = [0] * self.pool.num_layers
+        self._released = True
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise RuntimeError("paged cache used after release()")
+
+    def layer_views(self) -> List["PagedKVCache"]:
+        """One :class:`PagedKVCache` per layer, for ``model.forward``."""
+        return [PagedKVCache(self, layer)
+                for layer in range(self.pool.num_layers)]
+
+    def memory_bytes(self) -> int:
+        """Pool bytes held by this session's page references."""
+        return len(self.block_table) * self.pool.block_bytes
+
+
+class PagedKVCache:
+    """Per-layer view of a :class:`PagedSessionCache`.
+
+    Drop-in for :class:`repro.llm.layers.KVCache`: same ``append`` /
+    ``stacked`` / ``length`` / ``memory_bytes`` surface, backed by the
+    shared page pool instead of per-session arrays.
+    """
+
+    def __init__(self, session_cache: PagedSessionCache, layer: int):
+        self.session_cache = session_cache
+        self.layer = layer
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append keys/values of shape ``[seq, kv_heads, head_dim]``."""
+        self.session_cache.write(self.layer, k, v)
+
+    def stacked(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All cached keys and values as two ``[total, heads, dim]`` arrays."""
+        return self.session_cache.gather(self.layer)
+
+    @property
+    def length(self) -> int:
+        """Number of cached positions in this layer."""
+        return self.session_cache._lengths[self.layer]
+
+    def memory_bytes(self) -> int:
+        """fp32 bytes of the positions this view holds (token-based, like
+        the unpaged cache; page-rounded pool usage is the session cache's
+        :meth:`PagedSessionCache.memory_bytes`)."""
+        heads, dim = self.session_cache.pool.kv_shape
+        return int(self.length * heads * dim * 4 * 2)

@@ -1,0 +1,157 @@
+"""The shared KV page pool: storage + allocator + prefix cache.
+
+:class:`PagePool` carves a byte budget into fixed-size pages (16 tokens by
+default) held in two preallocated arrays::
+
+    keys   [num_blocks, num_layers, block_size, kv_heads, head_dim]  fp32
+    values [num_blocks, num_layers, block_size, kv_heads, head_dim]  fp32
+
+so the total KV footprint is fixed at construction — the serving engine's
+admission control and preemption decisions are made against
+:attr:`free_blocks`, not against unbounded per-session growth.  Page
+bookkeeping (refcounts, LRU eviction) lives in
+:class:`~repro.kvcache.allocator.BlockAllocator`; token-content reuse in
+:class:`~repro.kvcache.prefix.PrefixCache`; per-session views in
+:mod:`repro.kvcache.paged`.
+
+Knobs
+-----
+``budget_bytes``
+    Total bytes for all sessions' KV state.  The pool holds
+    ``budget_bytes // block_bytes`` pages
+    (:func:`repro.hardware.memory.kv_blocks_for_budget`).
+``block_size``
+    Tokens per page (default 16).  Smaller pages waste less memory on
+    partially filled tails but shorten the full-block prefix runs that can
+    be shared; larger pages amortize bookkeeping.
+``prefix_caching``
+    When on (default), full pages are registered in the prefix cache and
+    requests whose prompts share a full-page prefix map the same physical
+    pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.memory import kv_block_bytes, kv_blocks_for_budget
+from repro.kvcache.allocator import BlockAllocator
+from repro.kvcache.paged import PagedSessionCache
+from repro.kvcache.prefix import PrefixCache
+
+__all__ = ["PagePool", "DEFAULT_BLOCK_SIZE"]
+
+#: Default tokens-per-page, matching vLLM's default block size.
+DEFAULT_BLOCK_SIZE = 16
+
+
+class PagePool:
+    """Fixed-budget paged KV storage shared by all sessions of an engine."""
+
+    def __init__(self, num_layers: int, kv_heads: int, head_dim: int,
+                 budget_bytes: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                 prefix_caching: bool = True):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.num_layers = num_layers
+        self.block_size = block_size
+        self.kv_shape: Tuple[int, int] = (kv_heads, head_dim)
+        self.block_bytes = kv_block_bytes(num_layers, kv_heads, head_dim,
+                                          block_size, bytes_per_value=4)
+        self.num_blocks = kv_blocks_for_budget(budget_bytes, self.block_bytes)
+        shape = (self.num_blocks, num_layers, block_size, kv_heads, head_dim)
+        self.keys = np.zeros(shape, dtype=np.float32)
+        self.values = np.zeros(shape, dtype=np.float32)
+        self.prefix_cache: Optional[PrefixCache] = (
+            PrefixCache(block_size) if prefix_caching else None
+        )
+        on_evict = (self.prefix_cache.forget_block
+                    if self.prefix_cache is not None else None)
+        self.allocator = BlockAllocator(self.num_blocks, on_evict=on_evict)
+        self.cow_forks = 0
+
+    @classmethod
+    def for_model(cls, arch, budget_bytes: int,
+                  block_size: int = DEFAULT_BLOCK_SIZE,
+                  prefix_caching: bool = True) -> "PagePool":
+        """Build a pool sized for a :class:`repro.llm.architecture.TransformerArch`."""
+        return cls(arch.num_layers, arch.num_kv_heads, arch.head_dim,
+                   budget_bytes, block_size=block_size,
+                   prefix_caching=prefix_caching)
+
+    # ------------------------------------------------------------------ #
+    # Session caches
+    # ------------------------------------------------------------------ #
+
+    def create_session_cache(self, tokens: Sequence[int]
+                             ) -> PagedSessionCache:
+        """A session cache seeded with prefix-cache hits for ``tokens``.
+
+        At most ``len(tokens) - 1`` positions are taken from the cache (in
+        whole pages): the last token is always left to be recomputed so the
+        prefill still produces the logits the first sampled token is drawn
+        from.  Matched pages are retained before the cache is returned, so
+        they cannot be evicted while the session runs.
+        """
+        if self.prefix_cache is None:
+            return PagedSessionCache(self, [], prefix_tokens=0,
+                                     chain_key=None)
+        tokens = [int(t) for t in tokens]
+        block_ids, chain_key = self.prefix_cache.match(
+            tokens, max_tokens=len(tokens) - 1)
+        for block_id in block_ids:
+            self.allocator.retain(block_id)
+        return PagedSessionCache(self, block_ids,
+                                 prefix_tokens=len(block_ids) * self.block_size,
+                                 chain_key=chain_key)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_blocks(self) -> int:
+        """Pages allocatable right now (free + LRU-evictable)."""
+        return self.allocator.num_free
+
+    @property
+    def used_kv_bytes(self) -> int:
+        """Bytes of pages currently referenced by live sessions."""
+        return self.allocator.used_blocks * self.block_bytes
+
+    @property
+    def peak_kv_bytes(self) -> int:
+        """High-water mark of referenced page bytes."""
+        return self.allocator.peak_used_blocks * self.block_bytes
+
+    @property
+    def shared_blocks(self) -> int:
+        """Pages referenced by more than one session right now."""
+        return self.allocator.num_shared
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for the serving stats / the KV memory benchmark."""
+        out: Dict[str, float] = {
+            "kv_num_blocks": self.num_blocks,
+            "kv_block_size": self.block_size,
+            "kv_block_bytes": self.block_bytes,
+            "kv_used_blocks": self.allocator.used_blocks,
+            "kv_free_blocks": self.free_blocks,
+            "kv_peak_used_blocks": self.allocator.peak_used_blocks,
+            "kv_peak_bytes": self.peak_kv_bytes,
+            "kv_shared_blocks": self.shared_blocks,
+            "kv_evictions": self.allocator.evictions,
+            "kv_cow_forks": self.cow_forks,
+        }
+        if self.prefix_cache is not None:
+            out.update({
+                "prefix_cached_blocks": len(self.prefix_cache),
+                "prefix_lookups": self.prefix_cache.lookups,
+                "prefix_hit_tokens": self.prefix_cache.hit_tokens,
+                "prefix_requested_tokens":
+                    self.prefix_cache.requested_tokens,
+                "prefix_hit_rate": self.prefix_cache.hit_rate,
+            })
+        return out

@@ -1,0 +1,125 @@
+"""Token-keyed prefix cache over full KV pages.
+
+Sessions whose prompts share a prefix should share *physical* KV pages
+(SGLang-style radix-tree reuse).  The cache maps a **chained block key** —
+``(parent_key, tokens_of_this_block)`` — to the physical block holding
+those positions' keys/values.  Chaining makes the key equivalent to the
+whole token prefix up to the block's end while keeping each dict key O(one
+block) in size, exactly the hash-of-prefix trick vLLM's prefix caching
+uses; matching walks the chain block by block, so lookups are a radix
+descent over full pages.
+
+Only *full* blocks are ever registered: a partially filled page is still
+being written by its owning session and cannot be shared safely (the paged
+cache copy-on-writes it on fork instead).
+
+Eviction is driven by the allocator: when an unreferenced cached block is
+reclaimed (LRU), the allocator's ``on_evict`` hook calls
+:meth:`PrefixCache.forget_block` so the mapping disappears atomically with
+the page's reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["PrefixCache"]
+
+#: Key of the trie root (the empty prefix).
+_ROOT = None
+
+
+class PrefixCache:
+    """Chained-key map from full-block token runs to physical block ids."""
+
+    def __init__(self, block_size: int):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        self._blocks: Dict[Tuple, int] = {}
+        self._key_of_block: Dict[int, Tuple] = {}
+        self.lookups = 0
+        self.hit_tokens = 0
+        self.requested_tokens = 0
+
+    @staticmethod
+    def chain_key(parent_key: Optional[Tuple],
+                  block_tokens: Sequence[int]) -> Tuple:
+        """Key of the block holding ``block_tokens`` after ``parent_key``."""
+        return (parent_key, tuple(int(t) for t in block_tokens))
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / registration
+    # ------------------------------------------------------------------ #
+
+    def match(self, tokens: Sequence[int],
+              max_tokens: Optional[int] = None,
+              record: bool = True) -> Tuple[List[int], Optional[Tuple]]:
+        """Longest full-block prefix of ``tokens`` present in the cache.
+
+        Returns the matched physical block ids (possibly empty) and the
+        chain key of the last matched block (``None`` when nothing
+        matched), from which the caller continues the chain when it later
+        commits its own full blocks.  ``max_tokens`` caps the match — the
+        serving engine passes ``len(prompt) - 1`` so at least one prompt
+        token is always recomputed and yields the logits the first sampled
+        token needs.  ``record=False`` leaves the hit-rate counters alone
+        (used by admission-control probes that precede the real match).
+        """
+        limit = len(tokens) if max_tokens is None else min(len(tokens),
+                                                           max_tokens)
+        if record:
+            self.lookups += 1
+            self.requested_tokens += limit
+        block_ids: List[int] = []
+        key: Optional[Tuple] = _ROOT
+        start = 0
+        while start + self.block_size <= limit:
+            candidate = self.chain_key(key,
+                                       tokens[start:start + self.block_size])
+            block_id = self._blocks.get(candidate)
+            if block_id is None:
+                break
+            key = candidate
+            block_ids.append(block_id)
+            start += self.block_size
+        if record:
+            self.hit_tokens += start
+        return block_ids, key
+
+    def insert(self, key: Tuple, block_id: int) -> bool:
+        """Register a full block under its chain key.
+
+        Returns ``False`` (and keeps the existing mapping) when the key is
+        already present — two sessions that decoded identical content
+        independently keep the first physical block as the shared one.
+        """
+        if key in self._blocks:
+            return False
+        self._blocks[key] = block_id
+        self._key_of_block[block_id] = key
+        return True
+
+    def lookup(self, key: Tuple) -> Optional[int]:
+        """Physical block registered under ``key``, if any."""
+        return self._blocks.get(key)
+
+    def forget_block(self, block_id: int) -> None:
+        """Drop the mapping of an evicted block (allocator ``on_evict``)."""
+        key = self._key_of_block.pop(block_id, None)
+        if key is not None and self._blocks.get(key) == block_id:
+            del self._blocks[key]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of looked-up tokens served from cached pages."""
+        if self.requested_tokens == 0:
+            return 0.0
+        return self.hit_tokens / self.requested_tokens

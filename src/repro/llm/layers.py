@@ -84,7 +84,17 @@ def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray,
 
 @dataclass
 class KVCache:
-    """Per-layer key/value cache for incremental decoding."""
+    """Per-layer key/value cache for incremental decoding.
+
+    The cache contract consumed by :meth:`Attention.forward` and the
+    batched serving path is duck-typed: ``append(k, v)`` stores new
+    ``[seq, kv_heads, head_dim]`` rows, ``stacked()`` returns the full
+    history as two contiguous ``[total, kv_heads, head_dim]`` arrays, and
+    ``length`` / ``memory_bytes()`` report fill state.  This class is the
+    simple append-only implementation;
+    :class:`repro.kvcache.paged.PagedKVCache` implements the same contract
+    over a shared, byte-budgeted page pool with prefix sharing.
+    """
 
     keys: List[np.ndarray] = field(default_factory=list)
     values: List[np.ndarray] = field(default_factory=list)

@@ -13,7 +13,10 @@ asks for:
   input (q/k/v and gate/up).
 * :mod:`repro.serving.engine` — :class:`ServingEngine`: continuous-batching
   scheduler (admit at token granularity, retire on completion) with plan-
-  and LUT-cache statistics.
+  and LUT-cache statistics.  Given a KV byte budget it schedules against a
+  paged KV pool (:mod:`repro.kvcache`): admission by free-page count,
+  prefix sharing between requests, preemption-and-requeue when pages run
+  out, and chunked prefill for long prompts.
 
 Batched execution is bit-identical to running each request alone for
 row-independent kernels (T-MAC); the tests assert per-session token

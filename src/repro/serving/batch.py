@@ -9,7 +9,11 @@ traversal over the whole batch.
 
 Attention remains per-session (each request has its own KV cache, length
 and absolute position) and is computed with exactly the float-op sequence
-of the sequential path.  For row-independent kernels (T-MAC: per-row LUT
+of the sequential path.  The per-layer caches are duck-typed: the engine
+passes either plain :class:`repro.llm.layers.KVCache` objects or
+:class:`repro.kvcache.paged.PagedKVCache` views over the shared page pool
+— both expose the same ``append`` / ``stacked`` contract, and the gathered
+page contents are bit-identical to the unpaged arrays.  For row-independent kernels (T-MAC: per-row LUT
 quantization, lookup and aggregation) a batched step is therefore
 *bit-identical* to running the sessions one by one — the property the
 serving tests assert.  The fp32 reference backend delegates to BLAS, whose

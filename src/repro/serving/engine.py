@@ -1,4 +1,4 @@
-"""The serving engine: continuous batching over inference sessions.
+"""The serving engine: continuous batching with paged-KV scheduling.
 
 :class:`ServingEngine` accepts generation requests at any time
 (:meth:`~ServingEngine.submit`), admits them into a bounded running batch,
@@ -9,14 +9,34 @@ Sessions join mid-flight as slots free up and leave the moment they finish
 (continuous batching, vLLM-style scheduling at token granularity), so the
 batch never drains to refill.
 
-Prefill runs per session on admission (prompt lengths differ; the prompt
-pass is compute-bound mpGEMM already).  Decode — the memory-bound phase the
-paper targets — is where batching pays: every step amortizes one traversal
-of the packed weights over the whole batch.
+With a KV byte budget (``kv_cache_bytes``) the engine schedules against a
+:class:`repro.kvcache.pool.PagePool` instead of unbounded per-session
+caches:
+
+* **Admission control** — a waiting request is admitted only when the pool
+  has free pages for its whole prompt (minus prefix-cache hits) plus one
+  decode token; otherwise it waits, FIFO.
+* **Prefix sharing** — full pages of every session's token history are
+  registered in the pool's prefix cache, so requests sharing a prompt
+  prefix map the same physical pages and skip recomputing them.
+* **Preemption** — when a decode step cannot get a page, the *youngest*
+  running session is preempted: its pages are released and it is requeued
+  at the front of the waiting queue, to be recomputed from its prompt plus
+  the tokens it already generated (vLLM's recompute-style preemption).
+  Because sessions keep their sampling rng across preemption, the final
+  token sequence is unchanged.
+* **Chunked prefill** — with ``prefill_chunk`` set, long prompts are
+  processed ``prefill_chunk`` tokens per engine step instead of stalling
+  the whole batch behind one long prompt pass.
 
 Determinism: all cross-step state lives in the sessions (KV caches,
 positions, per-session rngs), so batched outputs are identical to running
-each request alone — the serving tests assert token-level equality.
+each request alone — the serving tests assert token-level equality.  (The
+attention einsum's reduction order varies with the number of query rows,
+so prefix-reuse and chunked prefill can shift *logits* by an ulp relative
+to a whole-prompt prefill; generated tokens still match except at exact
+argmax near-ties, the same caveat :mod:`repro.serving.batch` documents for
+the BLAS reference backend.)
 """
 
 from __future__ import annotations
@@ -26,6 +46,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.plan import plan_cache_stats
+from repro.kvcache import OutOfBlocks, PagePool
+from repro.kvcache.pool import DEFAULT_BLOCK_SIZE
 from repro.llm.inference import GenerationResult
 from repro.llm.model import TransformerModel
 from repro.serving.batch import BatchStats, batched_decode_step
@@ -44,21 +66,52 @@ class ServingEngine:
         are stateless across requests; per-request state lives in the
         sessions.
     max_batch_size:
-        Maximum number of concurrently active (decoding) sessions.
-        Further submissions queue until a slot frees up.
+        Maximum number of concurrently running (prefilling + decoding)
+        sessions.  Further submissions queue until a slot frees up.
+    kv_cache_bytes:
+        Byte budget for all sessions' KV state.  When set, sessions hold
+        block tables into a shared :class:`~repro.kvcache.pool.PagePool`
+        (prefix sharing, admission control, preemption); when ``None``
+        (default) each session owns unbounded per-layer caches, as before.
+    page_size:
+        Tokens per KV page in paged mode (default 16).
+    prefill_chunk:
+        Maximum prompt tokens processed per engine step and session;
+        ``None`` (default) prefills whole prompts in one pass.
+    prefix_caching:
+        Whether paged mode registers full pages for cross-request reuse.
     """
 
-    def __init__(self, model: TransformerModel, max_batch_size: int = 8):
+    def __init__(self, model: TransformerModel, max_batch_size: int = 8,
+                 kv_cache_bytes: Optional[int] = None,
+                 page_size: int = DEFAULT_BLOCK_SIZE,
+                 prefill_chunk: Optional[int] = None,
+                 prefix_caching: bool = True):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ValueError(f"prefill_chunk must be >= 1, got {prefill_chunk}")
         self.model = model
         self.max_batch_size = max_batch_size
+        self.prefill_chunk = prefill_chunk
+        self.pool: Optional[PagePool] = None
+        if kv_cache_bytes is not None:
+            self.pool = PagePool.for_model(model.arch, kv_cache_bytes,
+                                           block_size=page_size,
+                                           prefix_caching=prefix_caching)
         self.sessions: Dict[int, InferenceSession] = {}
         self._waiting: List[int] = []
+        self._prefilling: List[int] = []
         self._active: List[int] = []
         self.stats = BatchStats()
         self._prefills = 0
+        self._prefill_chunks = 0
+        self.preemptions = 0
         self._decode_counts: Dict[int, int] = {}
+        self._admit_seq: Dict[int, int] = {}
+        self._next_seq = 0
+        self._peak_kv_bytes = 0
+        self._peak_shared_blocks = 0
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -75,8 +128,9 @@ class ServingEngine:
         """Queue a generation request; returns its session id.
 
         Invalid requests (empty prompt, out-of-vocabulary tokens, prompt
-        longer than the context window) are rejected here, at submission —
-        not mid-batch, where a failure would take the whole step down.
+        longer than the context window, negative/non-finite temperature)
+        are rejected here, at submission — not mid-batch, where a failure
+        would take the whole step down.
         """
         prompt = [int(t) for t in prompt_tokens]
         arch = self.model.arch
@@ -90,6 +144,14 @@ class ServingEngine:
             raise ValueError(
                 f"prompt length {len(prompt)} exceeds max_seq_len "
                 f"{arch.max_seq_len}"
+            )
+        if self.pool is not None and \
+                self._pages_for(min(len(prompt) + 1, arch.max_seq_len)) > \
+                self.pool.num_blocks:
+            raise ValueError(
+                f"prompt of {len(prompt)} tokens needs more KV pages than "
+                f"the pool holds ({self.pool.num_blocks} pages of "
+                f"{self.pool.block_size} tokens); raise kv_cache_bytes"
             )
         params = SamplingParams(
             max_new_tokens=max_new_tokens,
@@ -109,53 +171,249 @@ class ServingEngine:
 
     @property
     def num_waiting(self) -> int:
-        """Requests queued but not yet admitted."""
+        """Requests queued (or preempted) but not currently running."""
         return len(self._waiting)
 
     @property
+    def num_prefilling(self) -> int:
+        """Admitted sessions still working through their prompt."""
+        return len(self._prefilling)
+
+    @property
     def num_active(self) -> int:
-        """Sessions currently in the running batch."""
+        """Sessions currently in the decoding batch."""
         return len(self._active)
 
     @property
     def has_work(self) -> bool:
-        """Whether any request is still waiting or decoding."""
-        return bool(self._waiting or self._active)
-
-    def _prefill(self, session: InferenceSession) -> None:
-        """Run the prompt pass for a newly admitted session."""
-        session.caches = self.model.new_cache()
-        logits = self.model.forward(
-            np.asarray(session.prompt_tokens), caches=session.caches,
-            start_position=0,
-        )
-        session.position = len(session.prompt_tokens)
-        session.last_logits = logits[-1]
-        session.state = SessionState.ACTIVE
-        self._prefills += 1
-        # advance() itself finishes zero-budget sessions without sampling.
-        session.advance(self.model.arch.max_seq_len)
+        """Whether any request is still waiting, prefilling or decoding."""
+        return bool(self._waiting or self._prefilling or self._active)
 
     def _admit(self) -> None:
-        """Move waiting sessions into the batch while slots are free."""
-        while self._waiting and len(self._active) < self.max_batch_size:
-            session_id = self._waiting.pop(0)
+        """Move waiting sessions into the batch while resources allow.
+
+        A session (re-)enters with a prefill target of its *whole* token
+        history — just the prompt for fresh requests, prompt plus generated
+        tokens for preempted ones (recompute).  In paged mode admission is
+        gated by the pool's free-page count against the pages the target
+        needs beyond its prefix-cache hits (a non-recording probe);
+        admission is FIFO and stops at the first request that does not
+        fit.  Pages are *bound* at prefill start, not here, so requests
+        admitted in one burst can still share the prefix pages their
+        burst-mates commit moments later.
+        """
+        while self._waiting and (len(self._active) + len(self._prefilling)
+                                 < self.max_batch_size):
+            session_id = self._waiting[0]
             session = self.sessions[session_id]
-            self._prefill(session)
+            target = session.tokens
+            if self.pool is not None:
+                total_pages = self._pages_for(
+                    min(len(target) + 1, self.model.arch.max_seq_len))
+                if total_pages > self.pool.num_blocks:
+                    # A preempted session has grown past what the whole
+                    # pool can recompute: it can never run again, so it
+                    # finishes with the tokens it has (capacity limit,
+                    # analogous to hitting max_seq_len).
+                    self._waiting.pop(0)
+                    session.finish()
+                    continue
+                if total_pages - self._probe_prefix_pages(target) > \
+                        self.pool.free_blocks:
+                    break
+            self._waiting.pop(0)
+            session.state = SessionState.PREFILLING
+            self._prefilling.append(session_id)
+            self._admit_seq[session_id] = self._next_seq
+            self._next_seq += 1
+
+    def _probe_prefix_pages(self, target: List[int]) -> int:
+        """Pages a request would get from the prefix cache (counter-free)."""
+        if self.pool is None or self.pool.prefix_cache is None:
+            return 0
+        block_ids, _ = self.pool.prefix_cache.match(
+            target, max_tokens=len(target) - 1, record=False)
+        return len(block_ids)
+
+    def _bind_caches(self, session: InferenceSession,
+                     target: List[int]) -> bool:
+        """Attach KV storage to an admitted session at prefill start.
+
+        In paged mode this is where the real prefix match happens and the
+        remaining pages (whole target plus one decode token) are reserved,
+        all-or-nothing — so prefill can never die out-of-memory mid-pass.
+        Returns ``False`` when the pool cannot cover the reservation (the
+        admission-time estimate was beaten by burst-mates grabbing pages
+        first); the caller requeues the session.
+        """
+        if self.pool is None:
+            session.caches = self.model.new_cache()
+            session.position = 0
+            return True
+        cache = self.pool.create_session_cache(target)
+        try:
+            cache.reserve(min(len(target) + 1, self.model.arch.max_seq_len))
+        except OutOfBlocks:
+            cache.release()
+            return False
+        session.page_cache = cache
+        session.caches = cache.layer_views()
+        session.position = cache.prefix_length
+        return True
+
+    def _advance_prefills(self) -> None:
+        """Run one prompt chunk for every prefilling session.
+
+        Without ``prefill_chunk`` the whole remaining prompt is processed,
+        reproducing the previous prefill-at-admission behaviour.  When the
+        last chunk completes, the session samples its first token
+        (``advance``) and joins the decoding batch.
+        """
+        for session_id in list(self._prefilling):
+            session = self.sessions[session_id]
+            target = session.tokens
+            if session.caches is None and not self._bind_caches(session,
+                                                                target):
+                self._prefilling.remove(session_id)
+                session.state = SessionState.WAITING
+                self._waiting.insert(0, session_id)
+                continue
+            chunk = self.prefill_chunk or len(target)
+            end = min(session.position + chunk, len(target))
+            tokens = np.asarray(target[session.position:end], dtype=np.int64)
+            logits = self.model.forward(tokens, caches=session.caches,
+                                        start_position=session.position)
+            session.position = end
+            self._prefill_chunks += 1
+            if session.page_cache is not None:
+                # Commit completed pages immediately so later sessions in
+                # this same admission burst can share them.
+                session.page_cache.commit_prefix(target)
+            if end < len(target):
+                continue
+            session.last_logits = logits[-1]
+            session.state = SessionState.ACTIVE
+            self._prefills += 1
+            self._prefilling.remove(session_id)
+            # advance() itself finishes zero-budget sessions without
+            # sampling; for preempted sessions it resumes exactly where the
+            # failed decode step would have (same logits, same rng).
+            session.advance(self.model.arch.max_seq_len)
             if not session.finished:
                 self._active.append(session_id)
+            else:
+                # Finished straight out of prefill (zero/one-token budget,
+                # stop token on the first sample, context limit): it never
+                # joins _active, so _retire_finished would miss its pages.
+                self._release_pages(session)
+
+    def _pages_for(self, num_tokens: int) -> int:
+        """KV pages needed to hold ``num_tokens`` positions."""
+        return -(-num_tokens // self.pool.block_size)
+
+    def _youngest_running(self) -> Optional[int]:
+        """The most recently admitted running session (preemption victim)."""
+        running = self._prefilling + self._active
+        if not running:
+            return None
+        return max(running, key=lambda sid: self._admit_seq[sid])
+
+    def _preempt(self, session_id: int) -> None:
+        """Release a running session's pages and requeue it for recompute.
+
+        The session keeps its generated tokens and its sampling rng; on
+        re-admission it prefills over prompt + generated tokens, which
+        reproduces the logits the failed decode step would have seen, so
+        the continuation is token-identical.
+        """
+        session = self.sessions[session_id]
+        if session_id in self._active:
+            self._active.remove(session_id)
+        if session_id in self._prefilling:
+            self._prefilling.remove(session_id)
+        if session.page_cache is not None:
+            session.page_cache.release()
+            session.page_cache = None
+        session.caches = None
+        session.last_logits = None
+        session.pending_token = None
+        session.position = 0
+        session.state = SessionState.WAITING
+        self._waiting.insert(0, session_id)
+        self.preemptions += 1
+
+    def _reserve_decode_pages(self) -> None:
+        """Guarantee every pending decode token a page before the step.
+
+        Surfacing out-of-memory *here* — instead of mid-forward — turns it
+        into scheduling policy: the youngest running session is preempted
+        (freeing its pages) until the reservation fits; if the starving
+        session is itself the youngest, it is the one preempted.
+        """
+        if self.pool is None:
+            return
+        for session_id in list(self._active):
+            if session_id not in self._active:
+                continue  # preempted while serving an earlier reservation
+            session = self.sessions[session_id]
+            if session.pending_token is None:
+                continue
+            while True:
+                try:
+                    session.page_cache.reserve(session.position + 1)
+                    break
+                except OutOfBlocks:
+                    victim = self._youngest_running()
+                    if victim is None:
+                        victim = session_id
+                    self._preempt(victim)
+                    if victim == session_id:
+                        break
+
+    def _commit_prefix_pages(self) -> None:
+        """Register newly completed full pages for cross-request reuse."""
+        if self.pool is None or self.pool.prefix_cache is None:
+            return
+        for session in self.sessions.values():
+            if session.page_cache is not None:
+                session.page_cache.commit_prefix(session.tokens)
 
     def _retire_finished(self) -> None:
-        self._active = [sid for sid in self._active
-                        if not self.sessions[sid].finished]
+        for session_id in list(self._active):
+            session = self.sessions[session_id]
+            if not session.finished:
+                continue
+            self._active.remove(session_id)
+            self._release_pages(session)
+
+    def _release_pages(self, session: InferenceSession) -> None:
+        if session.page_cache is not None:
+            session.page_cache.release()
+            session.page_cache = None
+
+    def _track_kv_peak(self) -> None:
+        """High-water mark of live KV bytes (pool-tracked in paged mode)."""
+        if self.pool is not None:
+            self._peak_kv_bytes = self.pool.peak_kv_bytes
+            self._peak_shared_blocks = max(self._peak_shared_blocks,
+                                           self.pool.shared_blocks)
+            return
+        live = 0
+        for session in self.sessions.values():
+            if session.caches:
+                live += sum(cache.memory_bytes()
+                            for cache in session.caches)
+        self._peak_kv_bytes = max(self._peak_kv_bytes, live)
 
     def step(self) -> Dict[str, int]:
-        """Admit, run one batched decode step, retire finished sessions.
+        """Admit, prefill, reserve pages, decode one batched step, retire.
 
         Returns a small summary (batch size, active/waiting counts) so
         callers can drive scheduling loops and benchmarks.
         """
         self._admit()
+        self._advance_prefills()
+        self._reserve_decode_pages()
         batch = [self.sessions[sid] for sid in self._active
                  if self.sessions[sid].pending_token is not None]
         if batch:
@@ -171,10 +429,13 @@ class ServingEngine:
                 session.last_logits = logits[row]
                 self._decode_counts[session.session_id] += 1
                 session.advance(self.model.arch.max_seq_len)
+        self._commit_prefix_pages()
         self._retire_finished()
+        self._track_kv_peak()
         return {
             "batch_size": len(batch),
             "active": self.num_active,
+            "prefilling": self.num_prefilling,
             "waiting": self.num_waiting,
         }
 
@@ -213,10 +474,11 @@ class ServingEngine:
     def release(self, session_id: int) -> GenerationResult:
         """Remove a finished session from the engine, returning its result.
 
-        Finished sessions already dropped their KV caches; releasing them
-        removes the remaining bookkeeping so a long-running engine's memory
-        stays proportional to the in-flight request set.  Releasing a
-        session that is still waiting or decoding raises ``ValueError``.
+        Finished sessions already dropped their KV pages when they retired;
+        releasing them removes the remaining bookkeeping so a long-running
+        engine's memory stays proportional to the in-flight request set.
+        Releasing a session that is still waiting or running raises
+        ``ValueError`` — use :meth:`cancel` for those.
         """
         session = self.sessions.get(session_id)
         if session is None:
@@ -224,33 +486,74 @@ class ServingEngine:
         if not session.finished:
             raise ValueError(
                 f"session {session_id} is {session.state.value}; only "
-                "finished sessions can be released"
+                "finished sessions can be released (cancel() aborts "
+                "running ones)"
             )
         result = self._result_for(session)
+        self._forget(session_id)
+        return result
+
+    def cancel(self, session_id: int) -> None:
+        """Abort a waiting or running session and free its KV pages.
+
+        The request is removed from whichever queue holds it, its block
+        references are dropped (pages shared with other sessions survive —
+        refcounts, not ownership), and its bookkeeping is deleted; it will
+        not appear in :meth:`results`.  Cancelling a finished session
+        raises ``ValueError`` — collect it with :meth:`release` instead.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown session id {session_id}")
+        if session.finished:
+            raise ValueError(
+                f"session {session_id} already finished; use release()"
+            )
+        for queue in (self._waiting, self._prefilling, self._active):
+            if session_id in queue:
+                queue.remove(session_id)
+        self._release_pages(session)
+        session.caches = None
+        session.pending_token = None
+        session.state = SessionState.FINISHED
+        self._forget(session_id)
+
+    def _forget(self, session_id: int) -> None:
         del self.sessions[session_id]
         del self._decode_counts[session_id]
-        return result
+        self._admit_seq.pop(session_id, None)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
     def serving_stats(self) -> Dict[str, float]:
-        """Batching and cache counters (used by the serving benchmark).
+        """Batching, scheduling and cache counters (used by the benchmarks).
 
         The ``global_plan_cache_*`` entries report the *process-wide* plan
         cache (shared with every other engine and every ``tmac_gemm`` call
         in the process), not per-engine traffic — the prefix makes the
-        scope explicit.
+        scope explicit.  In paged mode the pool's ``kv_*`` / ``prefix_*``
+        counters are merged in.
         """
         plan_stats = plan_cache_stats()
-        return {
+        out = {
             "prefills": self._prefills,
+            "prefill_chunks": self._prefill_chunks,
+            "preemptions": self.preemptions,
             "decode_steps": self.stats.decode_steps,
             "batched_tokens": self.stats.batched_tokens,
             "mean_batch_size": self.stats.mean_batch_size,
             "lut_precomputes": self.stats.lut_precomputes,
             "lut_reuses": self.stats.lut_reuses,
+            "peak_kv_bytes": self._peak_kv_bytes,
             "global_plan_cache_hits": plan_stats["hits"],
             "global_plan_cache_misses": plan_stats["misses"],
         }
+        if self.pool is not None:
+            out.update(self.pool.stats())
+            out["peak_shared_blocks"] = self._peak_shared_blocks
+            # Authoritative at all times (``_track_kv_peak`` only syncs the
+            # engine-side copy inside step()): both peak keys agree.
+            out["peak_kv_bytes"] = self.pool.peak_kv_bytes
+        return out

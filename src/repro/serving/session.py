@@ -12,6 +12,7 @@ here, not in the model.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
@@ -29,7 +30,8 @@ _session_counter = itertools.count()
 class SessionState(Enum):
     """Lifecycle of a request inside the serving engine."""
 
-    WAITING = "waiting"  # submitted, not yet admitted to the batch
+    WAITING = "waiting"  # submitted (or preempted), not yet in the batch
+    PREFILLING = "prefilling"  # admitted, prompt being processed (chunked)
     ACTIVE = "active"  # prefilled, decoding one token per engine step
     FINISHED = "finished"  # hit max tokens / stop token / context limit
 
@@ -46,6 +48,10 @@ class SamplingParams:
     def __post_init__(self) -> None:
         if self.max_new_tokens < 0:
             raise ValueError("max_new_tokens must be >= 0")
+        if not math.isfinite(self.temperature) or self.temperature < 0:
+            raise ValueError(
+                f"temperature must be finite and >= 0, got {self.temperature}"
+            )
 
 
 @dataclass
@@ -57,7 +63,14 @@ class InferenceSession:
     session_id: int = field(default_factory=lambda: next(_session_counter))
     state: SessionState = SessionState.WAITING
     generated_tokens: List[int] = field(default_factory=list)
+    #: Per-layer KV caches — plain :class:`repro.llm.layers.KVCache` in the
+    #: unpaged engine, :class:`repro.kvcache.paged.PagedKVCache` views when
+    #: the engine runs against a page pool.
     caches: Optional[List[KVCache]] = None
+    #: The session's :class:`repro.kvcache.paged.PagedSessionCache` (block
+    #: table) when paged; owned and released by the engine, which is why
+    #: :meth:`finish` leaves it in place.
+    page_cache: Optional[object] = field(default=None, repr=False)
     #: Absolute position of the *next* token to be fed to the model.
     position: int = 0
     #: Most recent logits row; the next sample is drawn from it.
@@ -126,7 +139,10 @@ class InferenceSession:
         The KV caches are the bulk of a session's footprint and are dead
         weight once generation ends; dropping them here keeps a
         long-running engine's memory bounded by the *active* batch, not by
-        the request history.
+        the request history.  ``page_cache`` is deliberately left intact:
+        the engine releases its block references (after registering any
+        still-shareable full pages in the prefix cache) when it retires the
+        session.
         """
         self.state = SessionState.FINISHED
         self.pending_token = None

@@ -1,9 +1,13 @@
-"""Unit tests for the memory/cache model."""
+"""Unit tests for the memory/cache model and KV page accounting."""
 
 import pytest
 
 from repro.hardware.devices import M2_ULTRA, RASPBERRY_PI_5
-from repro.hardware.memory import MemoryModel
+from repro.hardware.memory import (
+    MemoryModel,
+    kv_block_bytes,
+    kv_blocks_for_budget,
+)
 
 
 class TestMemoryModel:
@@ -40,3 +44,25 @@ class TestMemoryModel:
         with_reuse = model.dram_time_seconds(10e6, threads=8,
                                              reusable_bytes=1e6)
         assert with_reuse <= without
+
+
+class TestKVPageAccounting:
+    def test_block_bytes_formula(self):
+        # 2 (K and V) * layers * block_size * kv_heads * head_dim * 4 bytes
+        assert kv_block_bytes(2, 4, 16, 16) == 2 * 2 * 16 * 4 * 16 * 4
+        # fp16 deployments halve it
+        assert kv_block_bytes(2, 4, 16, 16, bytes_per_value=2) == \
+            kv_block_bytes(2, 4, 16, 16) // 2
+
+    def test_block_bytes_rejects_degenerate_dims(self):
+        with pytest.raises(ValueError):
+            kv_block_bytes(0, 4, 16, 16)
+        with pytest.raises(ValueError):
+            kv_block_bytes(2, 4, 16, 0)
+
+    def test_blocks_for_budget_floors(self):
+        assert kv_blocks_for_budget(10_000, 4_096) == 2
+
+    def test_budget_too_small_for_one_page(self):
+        with pytest.raises(ValueError):
+            kv_blocks_for_budget(4_095, 4_096)

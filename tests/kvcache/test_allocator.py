@@ -1,0 +1,114 @@
+"""Block allocator: refcounting, free list, LRU eviction, OOM."""
+
+import pytest
+
+from repro.kvcache import BlockAllocator, OutOfBlocks
+
+
+class TestAllocation:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            BlockAllocator(0)
+
+    def test_allocate_until_exhausted(self):
+        alloc = BlockAllocator(3)
+        ids = [alloc.allocate() for _ in range(3)]
+        assert sorted(ids) == [0, 1, 2]
+        assert alloc.num_free == 0
+        with pytest.raises(OutOfBlocks):
+            alloc.allocate()
+
+    def test_release_returns_block_to_free_list(self):
+        alloc = BlockAllocator(1)
+        block = alloc.allocate()
+        alloc.release(block)
+        assert alloc.num_free == 1
+        assert alloc.allocate() == block
+
+    def test_peak_used_tracks_high_water_mark(self):
+        alloc = BlockAllocator(4)
+        blocks = [alloc.allocate() for _ in range(3)]
+        for block in blocks:
+            alloc.release(block)
+        assert alloc.used_blocks == 0
+        assert alloc.peak_used_blocks == 3
+
+
+class TestRefcounting:
+    def test_retain_release_cycle(self):
+        alloc = BlockAllocator(2)
+        block = alloc.allocate()
+        assert alloc.refcount(block) == 1
+        alloc.retain(block)
+        assert alloc.refcount(block) == 2
+        alloc.release(block)
+        assert alloc.refcount(block) == 1
+        alloc.release(block)
+        assert alloc.refcount(block) == 0
+        assert alloc.num_free == 2
+
+    def test_retain_unallocated_raises(self):
+        alloc = BlockAllocator(2)
+        with pytest.raises(KeyError):
+            alloc.retain(0)
+
+    def test_release_unallocated_raises(self):
+        alloc = BlockAllocator(2)
+        with pytest.raises(KeyError):
+            alloc.release(1)
+
+
+class TestEviction:
+    def test_cached_blocks_evicted_in_lru_order(self):
+        """Blocks released earliest are reclaimed first (LRU)."""
+        alloc = BlockAllocator(3)
+        evicted = []
+        alloc.on_evict = evicted.append
+        a, b, c = (alloc.allocate() for _ in range(3))
+        for block in (a, b, c):
+            alloc.mark_cached(block)
+        # Release in the order b, a, c: LRU eviction must follow suit.
+        alloc.release(b)
+        alloc.release(a)
+        alloc.release(c)
+        assert alloc.num_free == 3
+        assert [alloc.allocate() for _ in range(3)]
+        assert evicted == [b, a, c]
+        assert alloc.evictions == 3
+
+    def test_retain_revives_evictable_block(self):
+        """A prefix hit on an unreferenced cached block rescues it."""
+        alloc = BlockAllocator(2)
+        block = alloc.allocate()
+        alloc.mark_cached(block)
+        alloc.release(block)
+        assert alloc.num_free == 2
+        alloc.retain(block)  # prefix-cache hit
+        assert alloc.refcount(block) == 1
+        # Now only the truly free block can be allocated.
+        other = alloc.allocate()
+        assert other != block
+        with pytest.raises(OutOfBlocks):
+            alloc.allocate()
+
+    def test_uncached_release_skips_evictable_list(self):
+        alloc = BlockAllocator(1)
+        block = alloc.allocate()
+        alloc.release(block)
+        assert alloc.evictions == 0
+        alloc.allocate()  # straight from the free list
+        assert alloc.evictions == 0
+
+    def test_shared_counter_tracks_refcount_crossings(self):
+        alloc = BlockAllocator(2)
+        block = alloc.allocate()
+        assert alloc.num_shared == 0
+        alloc.retain(block)
+        assert alloc.num_shared == 1
+        alloc.retain(block)
+        assert alloc.num_shared == 1  # still one *block* shared
+        alloc.release(block)
+        assert alloc.num_shared == 1
+        alloc.release(block)
+        assert alloc.num_shared == 0
+        alloc.release(block)

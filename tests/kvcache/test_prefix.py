@@ -1,0 +1,92 @@
+"""Prefix cache: chained full-block matching, counters, eviction unlink."""
+
+import pytest
+
+from repro.kvcache import PrefixCache
+
+
+class TestMatching:
+    def test_empty_cache_matches_nothing(self):
+        cache = PrefixCache(block_size=4)
+        ids, key = cache.match([1, 2, 3, 4, 5])
+        assert ids == [] and key is None
+
+    def test_chain_match_walks_full_blocks(self):
+        cache = PrefixCache(block_size=2)
+        k1 = cache.chain_key(None, [1, 2])
+        k2 = cache.chain_key(k1, [3, 4])
+        cache.insert(k1, 10)
+        cache.insert(k2, 11)
+        ids, key = cache.match([1, 2, 3, 4, 5, 6])
+        assert ids == [10, 11]
+        assert key == k2
+
+    def test_partial_blocks_never_match(self):
+        cache = PrefixCache(block_size=4)
+        cache.insert(cache.chain_key(None, [1, 2, 3, 4]), 0)
+        ids, _ = cache.match([1, 2, 3])  # shorter than one block
+        assert ids == []
+
+    def test_chain_breaks_on_divergence(self):
+        cache = PrefixCache(block_size=2)
+        k1 = cache.chain_key(None, [1, 2])
+        cache.insert(k1, 0)
+        cache.insert(cache.chain_key(k1, [3, 4]), 1)
+        ids, key = cache.match([1, 2, 9, 9])  # second block differs
+        assert ids == [0] and key == k1
+
+    def test_max_tokens_caps_the_match(self):
+        """The engine always leaves >= 1 token to recompute for logits."""
+        cache = PrefixCache(block_size=2)
+        k1 = cache.chain_key(None, [1, 2])
+        k2 = cache.chain_key(k1, [3, 4])
+        cache.insert(k1, 0)
+        cache.insert(k2, 1)
+        ids, _ = cache.match([1, 2, 3, 4], max_tokens=3)
+        assert ids == [0]  # the second block would cover token 4
+
+    def test_same_prefix_of_distinct_chains_does_not_collide(self):
+        """Block keys are chained: [1,2]+[3,4] != [9,9]+[3,4]."""
+        cache = PrefixCache(block_size=2)
+        k1 = cache.chain_key(None, [1, 2])
+        cache.insert(k1, 0)
+        cache.insert(cache.chain_key(k1, [3, 4]), 1)
+        ids, _ = cache.match([9, 9, 3, 4])
+        assert ids == []
+
+
+class TestBookkeeping:
+    def test_insert_keeps_first_mapping(self):
+        cache = PrefixCache(block_size=2)
+        key = cache.chain_key(None, [5, 6])
+        assert cache.insert(key, 3)
+        assert not cache.insert(key, 4)  # duplicate content, other block
+        assert cache.lookup(key) == 3
+
+    def test_forget_block_unlinks_chain(self):
+        cache = PrefixCache(block_size=2)
+        k1 = cache.chain_key(None, [1, 2])
+        k2 = cache.chain_key(k1, [3, 4])
+        cache.insert(k1, 0)
+        cache.insert(k2, 1)
+        cache.forget_block(0)  # allocator evicted the first block
+        ids, _ = cache.match([1, 2, 3, 4])
+        assert ids == []  # chain root gone; nothing matches
+        assert len(cache) == 1  # the orphaned second entry remains keyed
+
+    def test_hit_rate_counters(self):
+        cache = PrefixCache(block_size=2)
+        cache.insert(cache.chain_key(None, [1, 2]), 0)
+        cache.match([1, 2, 3, 4])       # 2 of 4 tokens hit
+        cache.match([7, 8])             # 0 of 2 tokens hit
+        assert cache.lookups == 2
+        assert cache.hit_tokens == 2
+        assert cache.requested_tokens == 6
+        assert cache.hit_rate == pytest.approx(2 / 6)
+
+    def test_probe_mode_leaves_counters_alone(self):
+        cache = PrefixCache(block_size=2)
+        cache.insert(cache.chain_key(None, [1, 2]), 0)
+        ids, _ = cache.match([1, 2, 3], record=False)
+        assert ids == [0]
+        assert cache.lookups == 0 and cache.requested_tokens == 0

@@ -1,0 +1,290 @@
+"""Paged serving: prefix sharing, preemption, chunked prefill, cancel.
+
+The correctness bar for the paged scheduler is token-identical output to
+the sequential per-request path — including when sessions share a prompt
+prefix, when the pool runs out of pages mid-decode (preemption +
+recompute), and when prompts are prefilled in chunks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.hardware.memory import kv_block_bytes
+from repro.llm import Generator, TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.serving import ServingEngine, SessionState
+
+PAGE = 16
+
+
+def make_arch():
+    return tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                     num_heads=4, vocab_size=97, max_seq_len=192)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return make_arch()
+
+
+@pytest.fixture(scope="module")
+def shared_weights(arch):
+    return generate_random_weights(arch, seed=3)
+
+
+def build_model(arch, weights):
+    return TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+
+
+def page_budget(arch, pages):
+    return pages * kv_block_bytes(arch.num_layers, arch.num_kv_heads,
+                                  arch.head_dim, PAGE)
+
+
+def sequential_tokens(arch, weights, prompt, **kwargs):
+    generator = Generator(build_model(arch, weights),
+                          seed=kwargs.get("seed", 0))
+    kwargs.pop("seed", None)
+    return generator.generate(prompt, **kwargs).generated_tokens
+
+
+class TestPagedEqualsSequential:
+    def test_paged_batch_matches_sequential(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        prompts = [[1 + i, 5, 9 + (2 * i) % 40] for i in range(8)]
+        engine = ServingEngine(model, max_batch_size=8,
+                               kv_cache_bytes=page_budget(arch, 64))
+        ids = [engine.submit(p, max_new_tokens=8) for p in prompts]
+        results = engine.run()
+        for prompt, sid in zip(prompts, ids):
+            assert results[sid].generated_tokens == sequential_tokens(
+                arch, shared_weights, prompt, max_new_tokens=8)
+
+    def test_chunked_prefill_matches_sequential(self, arch, shared_weights):
+        """Long prompts split across steps produce identical tokens."""
+        model = build_model(arch, shared_weights)
+        rng = np.random.default_rng(5)
+        prompts = [rng.integers(1, arch.vocab_size, size=70).tolist()
+                   for _ in range(3)]
+        engine = ServingEngine(model, max_batch_size=3,
+                               kv_cache_bytes=page_budget(arch, 32),
+                               prefill_chunk=16)
+        ids = [engine.submit(p, max_new_tokens=6) for p in prompts]
+        results = engine.run()
+        stats = engine.serving_stats()
+        # 70-token prompts at chunk 16 need 5 chunks each.
+        assert stats["prefill_chunks"] >= 15
+        for prompt, sid in zip(prompts, ids):
+            assert results[sid].generated_tokens == sequential_tokens(
+                arch, shared_weights, prompt, max_new_tokens=6)
+
+    def test_chunked_prefill_does_not_stall_decoding(self, arch,
+                                                     shared_weights):
+        """A long prompt prefills while an admitted session keeps decoding."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 32),
+                               prefill_chunk=8)
+        short = engine.submit([1, 2], max_new_tokens=12)
+        engine.step()  # short is decoding
+        long_prompt = list(np.random.default_rng(9).integers(
+            1, arch.vocab_size, size=40))
+        engine.submit(long_prompt, max_new_tokens=2)
+        summaries = []
+        for _ in range(30):
+            summaries.append(engine.step())
+            if summaries[-1]["prefilling"] == 0:
+                break
+        # Steps that both advanced the long prompt's prefill AND decoded
+        # the short session: the prompt did not stall the batch.
+        assert any(s["prefilling"] > 0 and s["batch_size"] > 0
+                   for s in summaries)
+        engine.run()
+        assert short not in engine._active
+
+    def test_temperature_sampling_survives_paging(self, arch,
+                                                  shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 32))
+        sid = engine.submit([4, 9, 2], max_new_tokens=6, temperature=0.8,
+                            seed=123)
+        results = engine.run()
+        assert results[sid].generated_tokens == sequential_tokens(
+            arch, shared_weights, [4, 9, 2], max_new_tokens=6,
+            temperature=0.8, seed=123)
+
+
+class TestPrefixSharing:
+    def test_shared_prefix_sessions_match_isolated_runs(self, arch,
+                                                        shared_weights):
+        """Two sessions with a 100-token common prefix decode exactly the
+        tokens their isolated sequential runs produce, while mapping the
+        same physical pages."""
+        model = build_model(arch, shared_weights)
+        rng = np.random.default_rng(11)
+        prefix = rng.integers(1, arch.vocab_size, size=100).tolist()
+        prompts = [prefix + [7, 3], prefix + [8, 4]]
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 40))
+        ids = [engine.submit(p, max_new_tokens=6) for p in prompts]
+
+        engine.step()  # both admitted: prefix pages now shared
+        stats = engine.serving_stats()
+        assert stats["kv_shared_blocks"] >= 100 // PAGE  # live sharing
+        assert stats["prefix_hit_tokens"] >= 96
+        assert stats["prefix_hit_rate"] > 0
+
+        results = engine.run()
+        for prompt, sid in zip(prompts, ids):
+            assert results[sid].generated_tokens == sequential_tokens(
+                arch, shared_weights, prompt, max_new_tokens=6)
+        # Sharing means fewer live pages than two isolated block tables.
+        final = engine.serving_stats()
+        isolated_pages = 2 * -(-(len(prompts[0]) + 6) // PAGE)
+        assert final["kv_peak_used_blocks"] < isolated_pages
+
+    def test_prefix_reuse_across_sequential_requests(self, arch,
+                                                     shared_weights):
+        """A request arriving after another finished reuses its pages."""
+        model = build_model(arch, shared_weights)
+        rng = np.random.default_rng(13)
+        prefix = rng.integers(1, arch.vocab_size, size=64).tolist()
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 32))
+        first = engine.submit(prefix + [1], max_new_tokens=4)
+        engine.run()
+        second = engine.submit(prefix + [2], max_new_tokens=4)
+        results = engine.run()
+        stats = engine.serving_stats()
+        assert stats["prefix_hit_tokens"] >= 64  # pages survived retirement
+        assert results[second].generated_tokens == sequential_tokens(
+            arch, shared_weights, prefix + [2], max_new_tokens=4)
+
+
+class TestPreemption:
+    def test_oom_preempts_youngest_and_recovers(self, arch, shared_weights):
+        """When decode outgrows the pool, the youngest session is requeued
+        and every request still finishes with sequential-identical tokens."""
+        model = build_model(arch, shared_weights)
+        # 3 sessions, each needing 2 pages by the end, in a 4-page pool:
+        # the third must be preempted and recomputed.
+        engine = ServingEngine(model, max_batch_size=3,
+                               kv_cache_bytes=page_budget(arch, 4),
+                               prefix_caching=False)
+        prompts = [[1 + i] * 12 for i in range(3)]
+        ids = [engine.submit(p, max_new_tokens=10) for p in prompts]
+        results = engine.run(max_steps=500)
+        assert engine.preemptions > 0
+        assert len(results) == 3
+        for prompt, sid in zip(prompts, ids):
+            assert results[sid].generated_tokens == sequential_tokens(
+                arch, shared_weights, prompt, max_new_tokens=10)
+
+    def test_admission_waits_for_free_pages(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=4,
+                               kv_cache_bytes=page_budget(arch, 2),
+                               prefix_caching=False)
+        a = engine.submit([1] * 20, max_new_tokens=4)   # needs both pages
+        b = engine.submit([2] * 20, max_new_tokens=4)   # must wait
+        engine.step()
+        assert engine.num_active == 1
+        assert engine.num_waiting == 1
+        results = engine.run(max_steps=500)
+        assert set(results) == {a, b}
+
+    def test_oversized_prompt_rejected_at_submit(self, arch,
+                                                 shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 2))
+        with pytest.raises(ValueError):
+            engine.submit([1] * 40, max_new_tokens=4)  # needs 3 pages
+
+    def test_max_length_prompt_fits_exactly_sized_pool(self, arch,
+                                                       shared_weights):
+        """A max_seq_len prompt must pass submit()'s capacity check when
+        the pool holds exactly the context window (the +1 decode slot is
+        capped at max_seq_len, as the scheduler caps it)."""
+        model = build_model(arch, shared_weights)
+        pages = -(-arch.max_seq_len // PAGE)
+        engine = ServingEngine(model, max_batch_size=1,
+                               kv_cache_bytes=page_budget(arch, pages),
+                               prefix_caching=False)
+        prompt = list(np.random.default_rng(3).integers(
+            1, arch.vocab_size, size=arch.max_seq_len))
+        sid = engine.submit(prompt, max_new_tokens=4)
+        results = engine.run(max_steps=50)
+        # Context limit: exactly one token fits after a full-window prompt.
+        assert len(results[sid].generated_tokens) == 1
+        assert engine.pool.allocator.used_blocks == 0  # pages released
+
+    def test_sessions_finishing_at_prefill_release_pages(self, arch,
+                                                         shared_weights):
+        """One-token and zero-token sessions never join the decode batch;
+        their pages must still be released (regression: waves of short
+        requests used to leak the pool dry and livelock run())."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=4,
+                               kv_cache_bytes=page_budget(arch, 8),
+                               prefix_caching=False)
+        for wave in range(3):
+            ids = [engine.submit([1 + i] * 20, max_new_tokens=wave % 2)
+                   for i in range(4)]
+            results = engine.run(max_steps=50)
+            assert all(sid in results for sid in ids)
+            assert engine.pool.allocator.used_blocks == 0
+        assert engine.pool.free_blocks == 8
+
+
+class TestCancel:
+    def test_cancel_waiting_session(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=1,
+                               kv_cache_bytes=page_budget(arch, 8))
+        active = engine.submit([1, 2], max_new_tokens=8)
+        waiting = engine.submit([3, 4], max_new_tokens=8)
+        engine.step()
+        engine.cancel(waiting)
+        assert waiting not in engine.sessions
+        assert engine.num_waiting == 0
+        results = engine.run()
+        assert set(results) == {active}
+
+    def test_cancel_active_session_frees_pages(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 8),
+                               prefix_caching=False)
+        sid = engine.submit([1] * 20, max_new_tokens=50)
+        other = engine.submit([2, 3], max_new_tokens=4)
+        engine.step()
+        used_before = engine.pool.allocator.used_blocks
+        engine.cancel(sid)
+        assert engine.pool.allocator.used_blocks < used_before
+        assert sid not in engine.sessions
+        results = engine.run()
+        assert set(results) == {other}
+
+    def test_cancel_unknown_or_finished_raises(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2)
+        sid = engine.submit([1, 2], max_new_tokens=1)
+        engine.run()
+        with pytest.raises(KeyError):
+            engine.cancel(10 ** 9)
+        with pytest.raises(ValueError):
+            engine.cancel(sid)  # finished: collect via release()
+        assert engine.release(sid).generated_tokens
+
+    def test_cancel_works_without_paging(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=1)
+        active = engine.submit([1, 2], max_new_tokens=4)
+        engine.step()
+        engine.cancel(active)
+        assert not engine.has_work and not engine.sessions

@@ -50,6 +50,23 @@ class TestSessionLifecycle:
         with pytest.raises(ValueError):
             SamplingParams(max_new_tokens=-1)
 
+    def test_invalid_temperature_rejected(self):
+        """temperature must be finite and >= 0, like the budget check."""
+        for bad in (-0.1, float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                SamplingParams(temperature=bad)
+        SamplingParams(temperature=0.0)
+        SamplingParams(temperature=1.5)
+
+    def test_invalid_temperature_rejected_at_submit(self, arch,
+                                                    shared_weights):
+        serving = ServingEngine(build_model(arch, shared_weights))
+        with pytest.raises(ValueError):
+            serving.submit([1, 2], temperature=-1.0)
+        with pytest.raises(ValueError):
+            serving.submit([1, 2], temperature=float("nan"))
+        assert serving.num_waiting == 0 and not serving.sessions
+
     def test_states(self):
         session = InferenceSession(prompt_tokens=[1, 2])
         assert session.state is SessionState.WAITING
