@@ -60,7 +60,10 @@ def _plan(label: str, m: int, k: int, bits: int):
 
 def _kernels(shape, bits):
     plan = _plan(shape.label, shape.m, shape.k, bits)
-    vec = TMACKernel.from_plan(plan, TMACConfig(bits=bits))
+    # Pinned explicitly so the "vectorized" column stays the serial
+    # executor even when REPRO_EXECUTOR changes the process default.
+    vec = TMACKernel.from_plan(plan, TMACConfig(bits=bits,
+                                                executor="vectorized"))
     loop = TMACKernel.from_plan(plan, TMACConfig(bits=bits, executor="loop"))
     return vec, loop
 

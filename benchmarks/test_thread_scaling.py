@@ -1,0 +1,222 @@
+"""Thread scaling of the parallel executor: serving tok/s and mpGEMM GB/s.
+
+The paper's headline claim is LUT-based mpGEMM throughput that scales
+near-linearly with CPU threads (Figures 6b/8b).  This benchmark exercises
+the reproduction's :class:`~repro.core.executor.ParallelExecutor` at 1/2/4
+worker threads and records, into ``benchmarks/results/thread_scaling.txt``:
+
+* measured end-to-end serving throughput (tok/s) on the benchmark model,
+* measured mpGEMM weight-traversal bandwidth (GB/s) on the Llama-2-7B
+  attention shape (S0, 4096x4096, 4-bit),
+* the roofline cost model's projected scaling on the Table 2 devices
+  (:meth:`repro.hardware.cost_model.CostModel.thread_scaling`).
+
+Correctness is asserted unconditionally: the parallel executor must be
+*bit-identical* to the serial vectorized executor on every Figure 6/7
+weight shape, and generated tokens must not change with the thread count.
+The cost-model >= 1.5x projection at 4 threads is always asserted; the
+*measured* >= 1.5x assertion additionally requires an explicit opt-in
+(``REPRO_ASSERT_THREAD_SCALING=1``) on a host with >= 4 usable cores —
+wall-clock scaling depends on hardware a shared CI runner cannot promise
+(single-core containers, noisy neighbours, tiny-model GIL overhead), so by
+default the measured numbers are recorded for inspection rather than
+gating the build.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.core.config import TMACConfig
+from repro.core.kernel import TMACKernel
+from repro.core.plan import clear_plan_cache
+from repro.hardware import CostModel, EVALUATION_DEVICES
+from repro.llm import TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.quant.uniform import quantize_weights
+from repro.serving import ServingEngine
+from repro.workloads.generator import gaussian_activation, gaussian_weights
+from repro.workloads.shapes import KERNEL_SHAPES
+
+THREAD_COUNTS = (1, 2, 4)
+NUM_SESSIONS = 6
+MAX_NEW_TOKENS = 8
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def assert_measured_scaling() -> bool:
+    """Whether to hard-assert measured wall-clock speedups (opt-in)."""
+    return bool(os.environ.get("REPRO_ASSERT_THREAD_SCALING")) and \
+        available_cores() >= 4
+
+
+def parallel_config(threads: int, threshold: int = 0) -> TMACConfig:
+    return TMACConfig(bits=4, executor="parallel", num_threads=threads,
+                      parallel_threshold=threshold)
+
+
+def test_parallel_parity_on_fig6_fig7_shapes(record_table):
+    """Bit-identity on every Figure 6/7 weight shape (acceptance gate).
+
+    N=1 covers the Figure 6 mpGEMV regime on all six shapes; S0 is
+    additionally checked at N=8 as a CI-sized stand-in for the Figure 7
+    mpGEMM regime (the kernel is row-independent, so the row count does
+    not interact with the sharding math — asserted at N=2..3 across every
+    table mode in the unit tests).
+    """
+    rows = []
+    for shape in KERNEL_SHAPES:
+        qw = quantize_weights(gaussian_weights(shape.m, shape.k, seed=1),
+                              bits=4, group_size=128)
+        # executor pinned: the baseline must stay serial even when
+        # REPRO_EXECUTOR=parallel flips the process default (CI leg 2).
+        serial_kernel = TMACKernel(qw, TMACConfig(bits=4,
+                                                  executor="vectorized"))
+        parallel_kernel = TMACKernel.from_plan(serial_kernel.plan,
+                                               parallel_config(4))
+        n_values = (1, 8) if shape.label == "S0" else (1,)
+        for n in n_values:
+            a = gaussian_activation(n, shape.k, seed=2)
+            serial = serial_kernel.matmul(a)
+            parallel = parallel_kernel.matmul(a)
+            np.testing.assert_array_equal(serial, parallel)
+            rows.append([shape.label, f"{shape.m}x{shape.k}x{n}",
+                         "bit-identical"])
+    record_table("thread_scaling_parity",
+                 "Parallel executor vs serial vectorized — fig6/fig7 shapes",
+                 ["shape", "MxKxN", "parallel vs serial"], rows)
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    """Accumulates the measured + modeled rows across the tests below."""
+    return []
+
+
+def test_mpgemm_bandwidth_thread_scaling(scaling_rows, benchmark):
+    """Measured mpGEMM GB/s at 1/2/4 threads on S0 (4096x4096, 4-bit)."""
+    shape = KERNEL_SHAPES[0]
+    qw = quantize_weights(gaussian_weights(shape.m, shape.k, seed=3),
+                          bits=4, group_size=128)
+    plan = TMACKernel(qw, TMACConfig(bits=4, executor="vectorized")).plan
+    a = gaussian_activation(1, shape.k, seed=4)
+    weight_bytes = qw.memory_bytes()
+
+    seconds = {}
+    outputs = {}
+    for threads in THREAD_COUNTS:
+        kernel = TMACKernel.from_plan(plan, parallel_config(threads))
+        kernel.matmul(a)  # warm the gather metadata / worker pool
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            outputs[threads] = kernel.matmul(a)
+            best = min(best, time.perf_counter() - start)
+        seconds[threads] = best
+
+    for threads in THREAD_COUNTS[1:]:
+        np.testing.assert_array_equal(outputs[1], outputs[threads])
+
+    for threads in THREAD_COUNTS:
+        speedup = seconds[1] / seconds[threads]
+        scaling_rows.append([
+            "mpGEMM S0 (measured)", threads,
+            f"{seconds[threads] * 1e3:.1f} ms",
+            f"{weight_bytes / seconds[threads] / 1e9:.2f} GB/s",
+            f"{speedup:.2f}x",
+        ])
+
+    if assert_measured_scaling():
+        assert seconds[1] / seconds[4] >= 1.5, (
+            f"4-thread mpGEMM speedup {seconds[1] / seconds[4]:.2f}x < 1.5x"
+        )
+
+    kernel = TMACKernel.from_plan(plan, parallel_config(THREAD_COUNTS[-1]))
+    benchmark(lambda: kernel.matmul(a))
+
+
+def test_serving_throughput_thread_scaling(scaling_rows):
+    """Measured serving tok/s at 1/2/4 threads (continuous batching)."""
+    clear_plan_cache()
+    arch = tiny_arch(hidden_size=256, intermediate_size=512, num_layers=2,
+                     num_heads=4, vocab_size=997, max_seq_len=96)
+    weights = generate_random_weights(arch, seed=17)
+    prompts = [[(5 * i + 1) % arch.vocab_size, 7, (3 * i + 2) % arch.vocab_size]
+               for i in range(NUM_SESSIONS)]
+
+    tok_s = {}
+    token_sets = {}
+    for threads in THREAD_COUNTS:
+        backend = get_backend(
+            "tmac", bits=4, group_size=64,
+            config=parallel_config(threads, threshold=2048))
+        model = TransformerModel(arch, engine=backend, weights=weights)
+        best = float("inf")
+        for _ in range(2):
+            engine = ServingEngine(model, max_batch_size=NUM_SESSIONS)
+            ids = [engine.submit(p, max_new_tokens=MAX_NEW_TOKENS)
+                   for p in prompts]
+            start = time.perf_counter()
+            results = engine.run()
+            best = min(best, time.perf_counter() - start)
+        tokens = sum(len(results[sid].generated_tokens) for sid in ids)
+        tok_s[threads] = tokens / best
+        token_sets[threads] = [results[sid].generated_tokens for sid in ids]
+
+    # Determinism: the thread count must never change any session's output.
+    for threads in THREAD_COUNTS[1:]:
+        assert token_sets[threads] == token_sets[1]
+
+    for threads in THREAD_COUNTS:
+        scaling_rows.append([
+            "serving decode (measured)", threads, "-",
+            f"{tok_s[threads]:.1f} tok/s",
+            f"{tok_s[threads] / tok_s[1]:.2f}x",
+        ])
+
+    if assert_measured_scaling():
+        assert tok_s[4] >= 1.5 * tok_s[1], (
+            f"4-thread serving speedup {tok_s[4] / tok_s[1]:.2f}x < 1.5x"
+        )
+
+
+def test_cost_model_thread_scaling(scaling_rows, record_table):
+    """Projected scaling on the Table 2 devices (always asserted)."""
+    shape = KERNEL_SHAPES[0]
+    config = TMACConfig(bits=4)
+    for device in EVALUATION_DEVICES:
+        model = CostModel(device)
+        counts = [t for t in THREAD_COUNTS if t <= device.cpu.cores]
+        latencies = model.thread_scaling(1, shape.m, shape.k, config, counts)
+        base = latencies[1].seconds
+        for threads in counts:
+            latency = latencies[threads]
+            scaling_rows.append([
+                f"mpGEMM S0 model ({device.name})", threads,
+                f"{latency.milliseconds:.3f} ms",
+                latency.bound,
+                f"{base / latency.seconds:.2f}x",
+            ])
+        if 4 in counts:
+            assert base / latencies[4].seconds >= 1.5, (
+                f"{device.name}: modeled 4-thread speedup below 1.5x"
+            )
+
+    record_table(
+        "thread_scaling",
+        "Parallel executor thread scaling — measured and modeled "
+        f"(host cores: {available_cores()})",
+        ["series", "threads", "latency", "throughput / bound", "speedup"],
+        scaling_rows,
+    )

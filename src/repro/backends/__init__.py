@@ -18,6 +18,12 @@ Resolve by name with :func:`get_backend`; add new kernels with
 :func:`register_backend`.  The transformer substrate (:mod:`repro.llm`),
 the serving engine (:mod:`repro.serving`), examples and benchmarks all go
 through this registry.
+
+The T-MAC backends accept execution-layer kwargs alongside the
+quantization ones: ``get_backend("tmac", executor="parallel",
+num_threads=4)`` binds every linear layer to the multi-core
+:class:`~repro.core.executor.ParallelExecutor` (bit-identical to the
+serial executor; see ``TMACConfig.num_threads`` / ``parallel_threshold``).
 """
 
 from repro.backends.base import Backend, LinearOperator, pick_group_size

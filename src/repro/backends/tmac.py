@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -29,15 +30,38 @@ class TMACBackend(Backend):
 
     def __init__(self, bits: int = 4, group_size: int = 128,
                  config: Optional[TMACConfig] = None, bitnet: bool = False,
-                 fast_aggregation: bool = False, **_ignored):
+                 fast_aggregation: bool = False,
+                 executor: Optional[str] = None,
+                 num_threads: Optional[int] = None, **_ignored):
         self.bits = bits
         self.group_size = group_size
+        explicit_config = config is not None
         if fast_aggregation:
             # Applies whether or not an explicit config was passed — the
             # "tmac-fa" registry entry must never silently run exact
             # aggregation.
             config = (config or TMACConfig(bits=bits)).with_options(
                 fast_aggregation=True)
+        if executor is not None or num_threads is not None:
+            # Execution-layer knobs: get_backend("tmac", executor="parallel",
+            # num_threads=4) switches every kernel this backend builds to the
+            # multi-core executor, which the serving engine's batched decode
+            # path then picks up transparently.  A num_threads override
+            # implies the parallel executor only when the caller did not
+            # choose an executor through any channel — the kwarg, an
+            # explicitly supplied config, or the REPRO_EXECUTOR environment
+            # override.
+            config = config or TMACConfig(bits=bits)
+            executor_chosen = explicit_config or "REPRO_EXECUTOR" in os.environ
+            overrides = {}
+            if executor is not None:
+                overrides["executor"] = executor
+            elif num_threads is not None and not executor_chosen and \
+                    config.executor != "parallel":
+                overrides["executor"] = "parallel"
+            if num_threads is not None:
+                overrides["num_threads"] = num_threads
+            config = config.with_options(**overrides)
         self.config = config
         self.bitnet = bitnet
         if config is not None and config.fast_aggregation:

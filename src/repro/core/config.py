@@ -21,12 +21,42 @@ the baseline ``TM-base`` configuration up to the full ``T-MAC`` one; see
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.tiling import TileConfig
 
-__all__ = ["TMACConfig", "ablation_stages", "ABLATION_STAGE_NAMES"]
+__all__ = [
+    "TMACConfig",
+    "ablation_stages",
+    "ABLATION_STAGE_NAMES",
+    "DEFAULT_PARALLEL_THRESHOLD",
+]
+
+#: Minimum gather work (``N * M * K/g`` lookup elements) before the
+#: parallel executor shards a call across its worker pool; smaller calls
+#: run the serial vectorized path, which is faster than paying fork/join
+#: overhead on a kernel that finishes in microseconds.
+DEFAULT_PARALLEL_THRESHOLD = 1 << 16
+
+
+def _default_executor() -> str:
+    """Executor default, overridable via ``REPRO_EXECUTOR`` (CI matrix)."""
+    return os.environ.get("REPRO_EXECUTOR", "vectorized")
+
+
+def _default_num_threads() -> Optional[int]:
+    """Thread-count default, overridable via ``REPRO_NUM_THREADS``."""
+    raw = os.environ.get("REPRO_NUM_THREADS")
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_NUM_THREADS must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -69,9 +99,20 @@ class TMACConfig:
     executor:
         Online executor used by :class:`~repro.core.kernel.TMACKernel`:
         ``"vectorized"`` (default — batched numpy across quantization groups
-        and bit planes) or ``"loop"`` (the reference per-group/per-bit
-        Python loops, kept as the numerical oracle).  Both compute the same
-        result; see :mod:`repro.core.executor`.
+        and bit planes), ``"parallel"`` (the vectorized pipeline sharded
+        over output-column tiles on a persistent worker thread pool) or
+        ``"loop"`` (the reference per-group/per-bit Python loops, kept as
+        the numerical oracle).  All compute bit-identical results; see
+        :mod:`repro.core.executor`.  The default can be overridden with the
+        ``REPRO_EXECUTOR`` environment variable (the CI matrix uses this to
+        run the whole suite under the parallel executor).
+    num_threads:
+        Worker count for the parallel executor; ``None`` (default) uses
+        ``os.cpu_count()``.  Ignored by the serial executors.  Default
+        overridable via ``REPRO_NUM_THREADS``.
+    parallel_threshold:
+        Minimum gather work (``N * M * K/g`` elements) before the parallel
+        executor shards a call; below it the serial vectorized path runs.
     """
 
     bits: int = 4
@@ -88,7 +129,9 @@ class TMACConfig:
     interleave_weights: bool = True
     tuned: bool = False
     tile_config: Optional[TileConfig] = None
-    executor: str = "vectorized"
+    executor: str = field(default_factory=_default_executor)
+    num_threads: Optional[int] = field(default_factory=_default_num_threads)
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
     name: str = "T-MAC"
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -113,6 +156,15 @@ class TMACConfig:
             )
         if self.s0 == self.s1:
             raise ValueError("s0 and s1 must differ")
+        if self.num_threads is not None and self.num_threads < 1:
+            raise ValueError(
+                f"num_threads must be >= 1 (or None for cpu_count), "
+                f"got {self.num_threads}"
+            )
+        if self.parallel_threshold < 0:
+            raise ValueError(
+                f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
         # Imported lazily: repro.core.executor imports this module.  The
         # executor registry is the single source of valid names.
         from repro.core.executor import list_executors

@@ -15,16 +15,30 @@ the mpGEMM result.  Two executors implement the same mathematics:
   uses the plan's precomputed folded indices and mirror signs, so the
   online cost is dominated by the gathers themselves — the numpy analogue
   of the paper's ``TBL``-bound inner loop.
+* :class:`ParallelExecutor` — the multi-core implementation: the vectorized
+  executor's output columns are sharded into contiguous spans aligned to
+  the plan's ``m_tm`` layout tile (:meth:`KernelPlan.output_tiles`) and
+  executed on a persistent worker thread pool.  Every worker consumes the
+  *same* per-call lookup table (it is read-only after precompute) and owns
+  a disjoint output span, so there is no cross-tile accumulation and the
+  per-element float-op sequence is exactly the serial vectorized one —
+  results are bit-identical at any thread count.  Calls whose gather work
+  falls below ``TMACConfig.parallel_threshold`` fall back to the serial
+  path, so tiny decode-regime kernels never pay fork/join overhead.
 
-Both executors run the same elementwise float operations in the same order,
+All executors run the same elementwise float operations in the same order,
 so their results are *bit-identical* (asserted in the unit tests across
-bits, group sizes and aggregation modes).  The executor is selected per
-kernel via ``TMACConfig.executor``.
+bits, group sizes, aggregation modes and thread counts).  The executor is
+selected per kernel via ``TMACConfig.executor``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Type
 
 import numpy as np
 
@@ -37,8 +51,13 @@ __all__ = [
     "KernelExecutor",
     "LoopExecutor",
     "VectorizedExecutor",
+    "ParallelExecutor",
     "get_executor",
     "list_executors",
+    "get_worker_pool",
+    "shutdown_worker_pools",
+    "parallel_executor_stats",
+    "reset_parallel_executor_stats",
 ]
 
 
@@ -85,6 +104,62 @@ class KernelExecutor:
             out[:, :, qg0:qg1] = chunk
         return out
 
+    def iter_codes_dot_span(
+        self,
+        plan: KernelPlan,
+        table: LookupTable,
+        config: TMACConfig,
+        group_sums: np.ndarray,
+        m0: int,
+        m1: int,
+        max_elements: int = 0,
+    ):
+        """Like :meth:`iter_codes_dot`, restricted to output columns
+        ``[m0, m1)`` (chunks are ``[N, m1-m0, qg1-qg0]``).
+
+        The base implementation only supports the full span; executors that
+        can shard the output axis (the vectorized family) override this.
+        """
+        if (m0, m1) != (0, plan.out_features):
+            raise NotImplementedError(
+                f"{type(self).__name__} cannot restrict the output span"
+            )
+        yield from self.iter_codes_dot(plan, table, config, group_sums)
+
+    def _recombine_span(
+        self,
+        plan: KernelPlan,
+        table: LookupTable,
+        config: TMACConfig,
+        group_sums: np.ndarray,
+        m0: int,
+        m1: int,
+        max_elements: int = 0,
+    ) -> np.ndarray:
+        """Scale/zero recombination over output columns ``[m0, m1)``.
+
+        Walks the quantization groups in order with the exact float-op
+        sequence of the original kernel; every operation is elementwise
+        along the output axis, so computing a column span in isolation
+        produces bit-identical values to slicing a full-width result —
+        the property the parallel executor's sharding relies on.
+        ``max_elements`` bounds this span's raw-gather temporary (0 uses
+        the executor default); chunk boundaries never change results.
+        """
+        n = group_sums.shape[0]
+        scales = plan.weights.scales  # [M, QG]
+        zeros = plan.weights.zeros  # [M, QG]
+        out = np.zeros((n, m1 - m0), dtype=np.float64)
+        for qg0, qg1, chunk in self.iter_codes_dot_span(
+            plan, table, config, group_sums, m0, m1, max_elements
+        ):
+            for qg in range(qg0, qg1):
+                scale_col = scales[m0:m1, qg][None, :]  # [1, span]
+                zero_col = zeros[m0:m1, qg][None, :]  # [1, span]
+                out += scale_col * chunk[:, :, qg - qg0]
+                out -= (scale_col * zero_col) * group_sums[:, qg][:, None]
+        return out
+
     def matmul_with_table(
         self,
         plan: KernelPlan,
@@ -95,7 +170,7 @@ class KernelExecutor:
         """Full mpGEMM ``[N, K] x [M, K]^T -> [N, M]`` float32.
 
         The scale/zero recombination walks the quantization groups in order
-        with the exact float-op sequence of the original kernel, so both
+        with the exact float-op sequence of the original kernel, so all
         executors produce bit-identical results whenever their codes-dot
         chunks agree bitwise (which they do — the vectorized path performs
         the same elementwise operations, just batched).  Each streamed
@@ -105,16 +180,8 @@ class KernelExecutor:
         """
         n = activation.shape[0]
         group_sums = activation.reshape(n, plan.num_qgroups, -1).sum(axis=2)
-        scales = plan.weights.scales  # [M, QG]
-        zeros = plan.weights.zeros  # [M, QG]
-        out = np.zeros((n, plan.out_features), dtype=np.float64)
-        for qg0, qg1, chunk in self.iter_codes_dot(plan, table, config,
-                                                   group_sums):
-            for qg in range(qg0, qg1):
-                scale_col = scales[:, qg][None, :]  # [1, M]
-                zero_col = zeros[:, qg][None, :]  # [1, M]
-                out += scale_col * chunk[:, :, qg - qg0]
-                out -= (scale_col * zero_col) * group_sums[:, qg][:, None]
+        out = self._recombine_span(plan, table, config, group_sums,
+                                   0, plan.out_features)
         return out.astype(np.float32)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -227,24 +294,27 @@ class VectorizedExecutor(KernelExecutor):
         bit: int,
         j0: int,
         j1: int,
+        m0: int,
+        m1: int,
     ) -> np.ndarray:
-        """Lookup of one bit plane over groups ``[j0, j1)``: ``[N, M, j1-j0]``."""
+        """Lookup of one bit plane over groups ``[j0, j1)`` restricted to
+        output columns ``[m0, m1)``: ``[N, m1-m0, j1-j0]``."""
         tables = plan.lookup_tables(table.mirrored)
         n = table.num_rows
         flat = table.values.reshape(n, -1)
         if tables.offsets is not None:
-            offsets = tables.offsets[bit][:, j0:j1]
+            offsets = tables.offsets[bit][m0:m1, j0:j1]
         else:
             # Very large weights: the plan skips offset precomputation;
             # derive the chunk's offsets from the folded indices on the fly.
             offsets = (
                 np.arange(j0, j1, dtype=np.int64)[None, :] * tables.stored
-                + tables.folded[bit][:, j0:j1]
+                + tables.folded[bit][m0:m1, j0:j1]
             )
         raw = flat[:, offsets.reshape(-1)].astype(np.float64)
-        raw = raw.reshape(n, plan.out_features, j1 - j0)
+        raw = raw.reshape(n, m1 - m0, j1 - j0)
         if tables.signs is not None:
-            raw *= tables.signs[bit][None, :, j0:j1]
+            raw *= tables.signs[bit][None, m0:m1, j0:j1]
         return raw
 
     def iter_codes_dot(
@@ -254,23 +324,48 @@ class VectorizedExecutor(KernelExecutor):
         config: TMACConfig,
         group_sums: np.ndarray,
     ):
+        yield from self.iter_codes_dot_span(plan, table, config, group_sums,
+                                            0, plan.out_features)
+
+    def iter_codes_dot_span(
+        self,
+        plan: KernelPlan,
+        table: LookupTable,
+        config: TMACConfig,
+        group_sums: np.ndarray,
+        m0: int,
+        m1: int,
+        max_elements: int = 0,
+    ):
+        """Codes-dot chunks over output columns ``[m0, m1)``.
+
+        All operations below are elementwise along the output axis (the
+        gathers, sign flips, per-group aggregations and scale applications
+        never mix output columns), so a restricted span yields bitwise the
+        columns a full-width run would — regardless of how the chunk walk
+        divides the quantization groups.
+        """
         n = table.num_rows
-        m = plan.out_features
+        m = m1 - m0
         qgroups = plan.num_qgroups
         gpq = plan.groups_per_qgroup
         alpha = plan.transform.alpha
         beta = plan.transform.beta
 
         # Chunk along the quantization-group axis (aggregation blocks stay
-        # intact) so one raw temporary never exceeds the element budget.
+        # intact) so one raw temporary never exceeds the element budget —
+        # per *call*: the parallel executor passes a per-shard budget so
+        # its concurrent spans together still respect the default bound.
+        budget = max_elements or self.max_gather_elements
         per_qgroup = n * m * gpq
-        qg_chunk = max(1, min(qgroups, self.max_gather_elements // max(1, per_qgroup)))
+        qg_chunk = max(1, min(qgroups, budget // max(1, per_qgroup)))
 
         for qg0 in range(0, qgroups, qg_chunk):
             qg1 = min(qg0 + qg_chunk, qgroups)
             chunk = np.zeros((n, m, qg1 - qg0), dtype=np.float64)
             for bit in range(plan.bits):
-                raw = self._raw_chunk(plan, table, bit, qg0 * gpq, qg1 * gpq)
+                raw = self._raw_chunk(plan, table, bit, qg0 * gpq, qg1 * gpq,
+                                      m0, m1)
                 blocked = raw.reshape(n, m, qg1 - qg0, gpq)
 
                 if not table.quantized:
@@ -297,14 +392,165 @@ class VectorizedExecutor(KernelExecutor):
             yield qg0, qg1, chunk
 
 
+# --------------------------------------------------------------------- #
+# Persistent worker pools (shared by every parallel kernel call)
+# --------------------------------------------------------------------- #
+
+_POOLS_LOCK = threading.Lock()
+_WORKER_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def get_worker_pool(num_threads: int) -> ThreadPoolExecutor:
+    """The process-wide worker pool for ``num_threads`` workers.
+
+    Pools are created lazily and kept for the life of the process (thread
+    startup costs far more than an mpGEMM shard), so every kernel, every
+    layer and every serving step sharing a thread count also shares one
+    pool.  numpy releases the GIL inside the gather/reduce kernels the
+    shards spend their time in, so the workers genuinely overlap on
+    multi-core hosts.
+    """
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    with _POOLS_LOCK:
+        pool = _WORKER_POOLS.get(num_threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=num_threads,
+                thread_name_prefix=f"repro-mpgemm-{num_threads}",
+            )
+            _WORKER_POOLS[num_threads] = pool
+        return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down every persistent worker pool (tests / embedders)."""
+    with _POOLS_LOCK:
+        pools = list(_WORKER_POOLS.values())
+        _WORKER_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+@dataclass
+class _ParallelStats:
+    """Process-wide counters of the parallel executor (O(1) aggregates)."""
+
+    calls: int = 0  #: matmuls routed through the parallel executor
+    parallel_calls: int = 0  #: calls that actually sharded across workers
+    serial_fallbacks: int = 0  #: calls below the work threshold (serial path)
+    shards_executed: int = 0  #: total output-span shards run on workers
+
+
+_PARALLEL_STATS = _ParallelStats()
+_PARALLEL_STATS_LOCK = threading.Lock()
+
+
+def parallel_executor_stats() -> Dict[str, int]:
+    """Counters of the process-wide parallel executor (serving stats)."""
+    with _PARALLEL_STATS_LOCK:
+        return {
+            "parallel_calls": _PARALLEL_STATS.calls,
+            "parallel_sharded_calls": _PARALLEL_STATS.parallel_calls,
+            "parallel_serial_fallbacks": _PARALLEL_STATS.serial_fallbacks,
+            "parallel_shards_executed": _PARALLEL_STATS.shards_executed,
+        }
+
+
+def reset_parallel_executor_stats() -> None:
+    """Zero the parallel-executor counters (tests and benchmarks)."""
+    with _PARALLEL_STATS_LOCK:
+        _PARALLEL_STATS.calls = 0
+        _PARALLEL_STATS.parallel_calls = 0
+        _PARALLEL_STATS.serial_fallbacks = 0
+        _PARALLEL_STATS.shards_executed = 0
+
+
+class ParallelExecutor(VectorizedExecutor):
+    """Multi-core executor: output-column shards on a persistent thread pool.
+
+    The output (M) axis is partitioned into at most ``num_threads``
+    contiguous spans aligned to the plan's ``m_tm`` layout tile
+    (:meth:`KernelPlan.output_tiles`); each shard runs the vectorized
+    span pipeline against the *shared* per-call lookup table and writes a
+    disjoint slice of the output.  The reduction over K happens entirely
+    inside a shard in the serial order, and no accumulator crosses a shard
+    boundary, so results are bit-identical to the serial vectorized
+    executor at every thread count.
+
+    ``TMACConfig`` knobs:
+
+    * ``num_threads`` — worker count; ``None`` uses ``os.cpu_count()``.
+    * ``parallel_threshold`` — minimum gather work (``N * M * K/g``
+      elements) before sharding pays; smaller calls (tiny decode-regime
+      kernels) take the serial path unchanged.
+    """
+
+    name = "parallel"
+
+    def resolve_threads(self, config: TMACConfig) -> int:
+        """Worker count for this call (config override or CPU count)."""
+        if config.num_threads is not None:
+            return max(1, config.num_threads)
+        return max(1, os.cpu_count() or 1)
+
+    def matmul_with_table(
+        self,
+        plan: KernelPlan,
+        table: LookupTable,
+        config: TMACConfig,
+        activation: np.ndarray,
+    ) -> np.ndarray:
+        n = activation.shape[0]
+        threads = self.resolve_threads(config)
+        work = n * plan.out_features * plan.num_groups
+        shards: List = []
+        if threads > 1 and work >= config.parallel_threshold:
+            shards = plan.output_tiles(threads)
+        if len(shards) <= 1:
+            with _PARALLEL_STATS_LOCK:
+                _PARALLEL_STATS.calls += 1
+                _PARALLEL_STATS.serial_fallbacks += 1
+            return super().matmul_with_table(plan, table, config, activation)
+
+        # Build the shared gather metadata once, in the calling thread, so
+        # workers only ever read it.
+        plan.lookup_tables(table.mirrored)
+        group_sums = activation.reshape(n, plan.num_qgroups, -1).sum(axis=2)
+        out = np.empty((n, plan.out_features), dtype=np.float32)
+        # Split the raw-temporary element budget across the concurrent
+        # shards so total transient memory matches the serial bound.
+        span_budget = max(1, self.max_gather_elements // len(shards))
+
+        def run_shard(span) -> None:
+            m0, m1 = span
+            # Assignment into the float32 slice performs the same rounding
+            # as the serial path's final ``astype(np.float32)``.
+            out[:, m0:m1] = self._recombine_span(
+                plan, table, config, group_sums, m0, m1, span_budget
+            )
+
+        pool = get_worker_pool(threads)
+        futures = [pool.submit(run_shard, span) for span in shards]
+        for future in futures:
+            future.result()  # propagate the first worker exception, if any
+        with _PARALLEL_STATS_LOCK:
+            _PARALLEL_STATS.calls += 1
+            _PARALLEL_STATS.parallel_calls += 1
+            _PARALLEL_STATS.shards_executed += len(shards)
+        return out
+
+
 _EXECUTORS: Dict[str, Type[KernelExecutor]] = {
     LoopExecutor.name: LoopExecutor,
     VectorizedExecutor.name: VectorizedExecutor,
+    ParallelExecutor.name: ParallelExecutor,
 }
 
 
 def get_executor(name: str) -> KernelExecutor:
-    """Instantiate an executor by name (``"vectorized"`` or ``"loop"``)."""
+    """Instantiate an executor by name (``"vectorized"``, ``"parallel"``
+    or ``"loop"``)."""
     try:
         return _EXECUTORS[name]()
     except KeyError:

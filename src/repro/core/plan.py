@@ -165,6 +165,12 @@ class KernelPlan:
     _gather_cache: Dict[bool, _LookupTables] = field(
         default_factory=dict, repr=False
     )
+    #: Serializes the lazy gather-metadata build: the parallel executor's
+    #: workers (and concurrent serving requests) may race into
+    #: :meth:`lookup_tables` for one shared plan.
+    _gather_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Shape properties
@@ -247,7 +253,18 @@ class KernelPlan:
         )
 
     def lookup_tables(self, mirrored: bool) -> _LookupTables:
-        """Precomputed per-bit folded indices and signs (lazily built)."""
+        """Precomputed per-bit folded indices and signs (lazily built).
+
+        Thread-safe: concurrent callers (e.g. parallel-executor workers)
+        build the metadata exactly once and all receive the same object.
+        """
+        cached = self._gather_cache.get(mirrored)
+        if cached is not None:
+            return cached
+        with self._gather_lock:
+            return self._build_lookup_tables(mirrored)
+
+    def _build_lookup_tables(self, mirrored: bool) -> _LookupTables:
         cached = self._gather_cache.get(mirrored)
         if cached is not None:
             return cached
@@ -289,6 +306,37 @@ class KernelPlan:
         return _layout_key(config, config_tile) == _layout_key(
             self.config, self.weights.tile_config
         )
+
+    def output_tiles(self, num_tiles: int) -> List[Tuple[int, int]]:
+        """Partition the output (M) axis into at most ``num_tiles`` spans.
+
+        Shard boundaries are aligned to the layout tile ``m_tm`` the
+        weights were packed with, so a shard always covers whole weight
+        tiles (the unit the offline permutation/interleaving laid out
+        contiguously), and the spans are balanced to within one tile.
+        Returns ``[(m0, m1), ...]`` covering ``[0, M)`` exactly, in order;
+        fewer than ``num_tiles`` spans when M holds fewer layout tiles.
+
+        This is plan-side geometry: executors must not invent their own
+        boundaries, because only tile-aligned spans keep every shard's
+        memory walk identical to the serial executor's walk over the same
+        columns.
+        """
+        if num_tiles < 1:
+            raise ValueError(f"num_tiles must be >= 1, got {num_tiles}")
+        m = self.out_features
+        align = min(self.weights.tile_config.m_tm, m)
+        units = -(-m // align)  # whole layout tiles along M (ceil)
+        shards = min(num_tiles, units)
+        base, extra = divmod(units, shards)
+        spans: List[Tuple[int, int]] = []
+        unit0 = 0
+        for i in range(shards):
+            take = base + (1 if i < extra else 0)
+            unit1 = unit0 + take
+            spans.append((unit0 * align, min(unit1 * align, m)))
+            unit0 = unit1
+        return spans
 
 
 def build_plan(
@@ -339,7 +387,11 @@ class PlanCache:
     Keys are ``(weight fingerprint, layout-relevant config fields, tile)``.
     The cache is bounded (LRU eviction) so long-running serving processes
     cannot grow without limit, and thread-safe because the serving engine
-    admits requests from arbitrary callers.
+    admits requests from arbitrary callers.  Concurrent ``get`` calls for
+    one key are *single-flight*: exactly one caller runs the (expensive)
+    offline preprocessing while the others wait and receive the same plan
+    object — the parallel executor's worker pool must never trigger
+    duplicate builds of one layer's weights.
     """
 
     def __init__(self, max_entries: int = 256):
@@ -349,6 +401,8 @@ class PlanCache:
         self._lock = threading.Lock()
         self._plans: "Dict[Tuple, KernelPlan]" = {}
         self._order: List[Tuple] = []
+        #: key -> Event set when the in-flight build for that key lands.
+        self._building: "Dict[Tuple, threading.Event]" = {}
         self.hits = 0
         self.misses = 0
 
@@ -362,25 +416,40 @@ class PlanCache:
         cfg = config or TMACConfig(bits=qweight.bits)
         fingerprint = weight_fingerprint(qweight)
         key = (fingerprint, _layout_key(cfg, tile_config))
-        with self._lock:
-            plan = self._plans.get(key)
-            if plan is not None:
-                self.hits += 1
-                self._order.remove(key)
-                self._order.append(key)
-                return plan
-            self.misses += 1
+        while True:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self.hits += 1
+                    self._order.remove(key)
+                    self._order.append(key)
+                    return plan
+                pending = self._building.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._building[key] = pending
+                    self.misses += 1
+                    break
+            # Another thread is building this exact plan: wait for it and
+            # re-check (a follower counts as a hit — it paid no build).
+            pending.wait()
         # Build outside the lock: preprocessing can be expensive and plans
-        # for distinct keys are independent.  A racing duplicate build is
-        # harmless (last writer wins, both plans are correct).
-        plan = build_plan(qweight, cfg, tile_config)
+        # for distinct keys are independent.
+        try:
+            plan = build_plan(qweight, cfg, tile_config)
+        except BaseException:
+            with self._lock:
+                self._building.pop(key, None)
+            pending.set()  # wake followers; one of them retries the build
+            raise
         with self._lock:
-            if key not in self._plans:
-                self._plans[key] = plan
-                self._order.append(key)
-                while len(self._order) > self.max_entries:
-                    evicted = self._order.pop(0)
-                    self._plans.pop(evicted, None)
+            self._plans[key] = plan
+            self._order.append(key)
+            while len(self._order) > self.max_entries:
+                evicted = self._order.pop(0)
+                self._plans.pop(evicted, None)
+            self._building.pop(key, None)
+        pending.set()
         return plan
 
     def stats(self) -> Dict[str, int]:

@@ -170,6 +170,90 @@ class CostModel:
         return self.tmac_gemm_latency(1, m, k, config, threads, group_size,
                                       tile_config)
 
+    # ------------------------------------------------------------------ #
+    # Parallel-executor (output-column sharding) estimates
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def shard_efficiency(m: int, threads: int, m_tile: int) -> float:
+        """Parallel efficiency of tile-aligned output-column sharding.
+
+        The parallel executor shards M into spans of whole ``m_tile``
+        layout tiles (:meth:`repro.core.plan.KernelPlan.output_tiles`), so
+        the compute term scales not with the raw thread count but with the
+        *balance* of the tile distribution: with ``T`` tiles over ``t``
+        threads the slowest worker owns ``ceil(T/t)`` tiles, giving an
+        effective speedup of ``T / ceil(T/t)`` (= ``t`` whenever ``t``
+        divides ``T``).  Returned as speedup / threads in ``(0, 1]``.
+        """
+        if min(m, threads, m_tile) < 1:
+            raise ValueError("m, threads and m_tile must all be >= 1")
+        tiles = -(-m // m_tile)
+        usable = min(threads, tiles)
+        speedup = tiles / -(-tiles // usable)
+        return speedup / threads
+
+    def tmac_parallel_gemm_latency(
+        self,
+        n: int,
+        m: int,
+        k: int,
+        config: TMACConfig,
+        threads: int,
+        group_size: int = 128,
+        tile_config=None,
+    ) -> KernelLatency:
+        """Latency of a T-MAC mpGEMM under the parallel executor.
+
+        Unlike :meth:`tmac_gemm_latency` (which assumes ideally divisible
+        work), the compute term honours the executor's actual sharding
+        geometry via :meth:`shard_efficiency`; the memory term uses the
+        bandwidth the thread count can sustain, as before.  The two
+        coincide whenever the thread count divides the tile count — the
+        thread-scaling benchmark records both.
+        """
+        if threads < 1 or threads > self.device.cpu.cores:
+            raise ValueError(
+                f"threads={threads} out of range [1, {self.device.cpu.cores}] "
+                f"for {self.device.name}"
+            )
+        from repro.core.weights import resolve_tile_config
+
+        profile = profile_tmac_gemm(
+            n, m, k, config, isa=self.device.isa, group_size=group_size,
+            tile_config=tile_config,
+        )
+        tile = resolve_tile_config(config, tile_config)
+        efficiency = self.shard_efficiency(m, threads, tile.m_tm)
+        compute = self.compute_seconds(profile, 1) / (threads * efficiency)
+        memory = self.memory_seconds(profile, threads)
+        seconds = max(compute, memory)
+        return KernelLatency(
+            seconds=seconds,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            threads=threads,
+            bound="compute" if compute >= memory else "memory",
+            description=f"{profile.description} [parallel x{threads}]",
+        )
+
+    def thread_scaling(
+        self,
+        n: int,
+        m: int,
+        k: int,
+        config: TMACConfig,
+        thread_counts,
+        group_size: int = 128,
+        tile_config=None,
+    ) -> "dict[int, KernelLatency]":
+        """Parallel-executor latency at each requested thread count."""
+        return {
+            int(t): self.tmac_parallel_gemm_latency(
+                n, m, k, config, int(t), group_size, tile_config)
+            for t in thread_counts
+        }
+
     def dequant_gemm_latency(
         self,
         n: int,

@@ -22,15 +22,27 @@ __all__ = ["GenerationResult", "Generator", "sample_token"]
 
 
 def sample_token(logits: np.ndarray, temperature: float,
-                 rng: np.random.Generator) -> int:
+                 rng: np.random.Generator, top_k: int = 0) -> int:
     """Draw one token from a logits row (greedy at temperature 0).
 
-    Shared by the sequential :class:`Generator` and the serving engine's
-    :class:`repro.serving.session.InferenceSession`, whose batched-equals-
-    sequential guarantee depends on both paths sampling identically.
+    ``top_k > 0`` restricts temperature sampling to the ``top_k``
+    highest-logit tokens (ties at the cut-off all stay in, so the
+    selection is deterministic for a given logits row); ``top_k == 0``
+    disables truncation.  Shared by the sequential :class:`Generator` and
+    the serving engine's :class:`repro.serving.session.InferenceSession`,
+    whose batched-equals-sequential guarantee depends on both paths
+    sampling identically.
     """
+    if top_k < 0:
+        raise ValueError(
+            f"top_k must be >= 0 (0 disables truncation), got {top_k}"
+        )
     if temperature <= 0.0:
         return int(np.argmax(logits))
+    logits = np.asarray(logits)
+    if top_k and top_k < logits.shape[-1]:
+        threshold = np.partition(logits, -top_k)[-top_k]
+        logits = np.where(logits >= threshold, logits, -np.inf)
     probs = softmax(logits / temperature)
     return int(rng.choice(len(probs), p=probs))
 
@@ -44,6 +56,9 @@ class GenerationResult:
     logits_history: List[np.ndarray] = field(default_factory=list)
     prefill_length: int = 0
     decode_steps: int = 0
+    #: Why generation stopped (``"stop"`` / ``"length"`` / ``"context"`` /
+    #: ``"capacity"``); ``""`` for paths that do not record one.
+    finish_reason: str = ""
 
     @property
     def tokens(self) -> List[int]:
@@ -65,6 +80,7 @@ class Generator:
         temperature: float = 0.0,
         stop_token: Optional[int] = None,
         keep_logits: bool = False,
+        top_k: int = 0,
     ) -> GenerationResult:
         """Generate tokens autoregressively.
 
@@ -81,6 +97,10 @@ class Generator:
         keep_logits:
             Record the logits of every decode step (used by tests and the
             quality evaluation).
+        top_k:
+            Restrict temperature sampling to the ``top_k`` highest-logit
+            tokens (0, the default, disables truncation) — the same
+            semantics as :class:`repro.serving.session.SamplingParams`.
         """
         prompt = [int(t) for t in prompt_tokens]
         if not prompt:
@@ -101,13 +121,16 @@ class Generator:
 
         position = len(prompt)
         for step in range(max_new_tokens):
-            token = self._sample(last_logits, temperature)
+            token = self._sample(last_logits, temperature, top_k)
             result.generated_tokens.append(token)
             if stop_token is not None and token == stop_token:
+                result.finish_reason = "stop"
                 break
             if step == max_new_tokens - 1:
+                result.finish_reason = "length"
                 break  # no forward needed after the final token
             if position >= self.model.arch.max_seq_len - 1:
+                result.finish_reason = "context"
                 break
             # Decode: one token at a time (mpGEMV regime).
             logits = self.model.forward(np.asarray([token]), caches=caches,
@@ -119,5 +142,6 @@ class Generator:
             position += 1
         return result
 
-    def _sample(self, logits: np.ndarray, temperature: float) -> int:
-        return sample_token(logits, temperature, self._rng)
+    def _sample(self, logits: np.ndarray, temperature: float,
+                top_k: int = 0) -> int:
+        return sample_token(logits, temperature, self._rng, top_k=top_k)

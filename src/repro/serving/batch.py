@@ -29,6 +29,15 @@ Two LUT-level reuses stack on top:
   share one table precompute per step (:func:`shared_input_forward`).
 * **Plan caching** — the weights behind every kernel were prepared once
   through the process-wide plan cache (:mod:`repro.core.plan`).
+
+Multi-core execution composes transparently: when the model's backend was
+built with ``executor="parallel"`` (:class:`repro.core.executor.
+ParallelExecutor`), each batched mpGEMM shards its output columns across
+the persistent worker pool — and because batching multiplies the
+activation rows per call, the batched decode path crosses the executor's
+work threshold at batch sizes where a single-session decode would not.
+The shared lookup table built here is read-only after precompute, so one
+table safely feeds every worker of every kernel consuming it.
 """
 
 from __future__ import annotations

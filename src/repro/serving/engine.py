@@ -24,7 +24,10 @@ caches:
   at the front of the waiting queue, to be recomputed from its prompt plus
   the tokens it already generated (vLLM's recompute-style preemption).
   Because sessions keep their sampling rng across preemption, the final
-  token sequence is unchanged.
+  token sequence is unchanged.  Progress guarantee: a session whose next
+  step could not fit even in an *empty* pool is failed with a capacity
+  error (``finish_reason == "capacity"``, keeping the tokens produced so
+  far) instead of being requeued for a recompute that must starve again.
 * **Chunked prefill** — with ``prefill_chunk`` set, long prompts are
   processed ``prefill_chunk`` tokens per engine step instead of stalling
   the whole batch behind one long prompt pass.
@@ -45,6 +48,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.executor import parallel_executor_stats
 from repro.core.plan import plan_cache_stats
 from repro.kvcache import OutOfBlocks, PagePool
 from repro.kvcache.pool import DEFAULT_BLOCK_SIZE
@@ -107,6 +111,9 @@ class ServingEngine:
         self._prefills = 0
         self._prefill_chunks = 0
         self.preemptions = 0
+        #: Sessions force-finished because the KV pool can never hold their
+        #: next step (their results carry ``finish_reason == "capacity"``).
+        self.capacity_failures = 0
         self._decode_counts: Dict[int, int] = {}
         self._admit_seq: Dict[int, int] = {}
         self._next_seq = 0
@@ -122,15 +129,17 @@ class ServingEngine:
         prompt_tokens,
         max_new_tokens: int = 16,
         temperature: float = 0.0,
+        top_k: int = 0,
         stop_token: Optional[int] = None,
         seed: int = 0,
     ) -> int:
         """Queue a generation request; returns its session id.
 
         Invalid requests (empty prompt, out-of-vocabulary tokens, prompt
-        longer than the context window, negative/non-finite temperature)
-        are rejected here, at submission — not mid-batch, where a failure
-        would take the whole step down.
+        longer than the context window, negative/non-finite temperature,
+        ``max_new_tokens < 1``, ``top_k < 0``) are rejected here, at
+        submission — not mid-batch, where a failure would take the whole
+        step down.
         """
         prompt = [int(t) for t in prompt_tokens]
         arch = self.model.arch
@@ -156,6 +165,7 @@ class ServingEngine:
         params = SamplingParams(
             max_new_tokens=max_new_tokens,
             temperature=temperature,
+            top_k=top_k,
             stop_token=stop_token,
             seed=seed,
         )
@@ -213,10 +223,10 @@ class ServingEngine:
                 if total_pages > self.pool.num_blocks:
                     # A preempted session has grown past what the whole
                     # pool can recompute: it can never run again, so it
-                    # finishes with the tokens it has (capacity limit,
-                    # analogous to hitting max_seq_len).
-                    self._waiting.pop(0)
-                    session.finish()
+                    # fails with a capacity error, keeping the tokens it
+                    # already produced (analogous to hitting max_seq_len,
+                    # but surfaced as finish_reason == "capacity").
+                    self._fail_capacity(session_id)
                     continue
                 if total_pages - self._probe_prefix_pages(target) > \
                         self.pool.free_blocks:
@@ -295,15 +305,15 @@ class ServingEngine:
             session.state = SessionState.ACTIVE
             self._prefills += 1
             self._prefilling.remove(session_id)
-            # advance() itself finishes zero-budget sessions without
-            # sampling; for preempted sessions it resumes exactly where the
-            # failed decode step would have (same logits, same rng).
+            # For preempted sessions advance() resumes exactly where the
+            # failed decode step would have (same logits, same rng); for
+            # budget-exhausted recomputes it finishes without sampling.
             session.advance(self.model.arch.max_seq_len)
             if not session.finished:
                 self._active.append(session_id)
             else:
-                # Finished straight out of prefill (zero/one-token budget,
-                # stop token on the first sample, context limit): it never
+                # Finished straight out of prefill (one-token budget, stop
+                # token on the first sample, context limit): it never
                 # joins _active, so _retire_finished would miss its pages.
                 self._release_pages(session)
 
@@ -347,8 +357,14 @@ class ServingEngine:
 
         Surfacing out-of-memory *here* — instead of mid-forward — turns it
         into scheduling policy: the youngest running session is preempted
-        (freeing its pages) until the reservation fits; if the starving
-        session is itself the youngest, it is the one preempted.
+        (freeing its pages) until the reservation fits.  When the starving
+        session is itself the youngest, preempting (= requeueing) it only
+        helps if the *whole* pool could hold its recomputed history plus
+        the next token; if even that is impossible, requeueing would
+        recompute everything just to starve again — an unbounded
+        preempt/recompute loop when it is the only runnable session — so
+        the session fails with a capacity error instead, keeping the
+        tokens it already produced (progress guarantee).
         """
         if self.pool is None:
             return
@@ -366,9 +382,29 @@ class ServingEngine:
                     victim = self._youngest_running()
                     if victim is None:
                         victim = session_id
+                    # A requeued session recomputes its whole history (the
+                    # pending token included: position + 1 tokens) and needs
+                    # one decode slot on top — exactly _admit's readmission
+                    # requirement.  If even an empty pool cannot cover that,
+                    # preempting it would be a futile recompute cycle.
+                    if victim == session_id and \
+                            self._pages_for(session.position + 2) > \
+                            self.pool.num_blocks:
+                        self._fail_capacity(session_id)
+                        break
                     self._preempt(victim)
                     if victim == session_id:
                         break
+
+    def _fail_capacity(self, session_id: int) -> None:
+        """Finish a session the pool can never satisfy (capacity error)."""
+        session = self.sessions[session_id]
+        for queue in (self._waiting, self._prefilling, self._active):
+            if session_id in queue:
+                queue.remove(session_id)
+        self._release_pages(session)
+        session.finish("capacity")
+        self.capacity_failures += 1
 
     def _commit_prefix_pages(self) -> None:
         """Register newly completed full pages for cross-request reuse."""
@@ -469,6 +505,7 @@ class ServingEngine:
             generated_tokens=list(session.generated_tokens),
             prefill_length=len(session.prompt_tokens),
             decode_steps=self._decode_counts[session.session_id],
+            finish_reason=session.finish_reason,
         )
 
     def release(self, session_id: int) -> GenerationResult:
@@ -512,10 +549,13 @@ class ServingEngine:
         for queue in (self._waiting, self._prefilling, self._active):
             if session_id in queue:
                 queue.remove(session_id)
+        # Mid-prefill cancels carry bound pages (reserved all-or-nothing at
+        # prefill start) and prefix-cache references; _release_pages drops
+        # every block reference, decrementing shared-page refcounts, so the
+        # pool's free-page count returns to its pre-submit baseline unless
+        # another live session still shares the pages.
         self._release_pages(session)
-        session.caches = None
-        session.pending_token = None
-        session.state = SessionState.FINISHED
+        session.finish("cancelled")
         self._forget(session_id)
 
     def _forget(self, session_id: int) -> None:
@@ -541,6 +581,7 @@ class ServingEngine:
             "prefills": self._prefills,
             "prefill_chunks": self._prefill_chunks,
             "preemptions": self.preemptions,
+            "capacity_failures": self.capacity_failures,
             "decode_steps": self.stats.decode_steps,
             "batched_tokens": self.stats.batched_tokens,
             "mean_batch_size": self.stats.mean_batch_size,
@@ -550,6 +591,10 @@ class ServingEngine:
             "global_plan_cache_hits": plan_stats["hits"],
             "global_plan_cache_misses": plan_stats["misses"],
         }
+        # Like the plan-cache counters, the parallel-executor counters are
+        # process-wide (every kernel call in the process, not only this
+        # engine's); the "parallel_" prefix marks the scope.
+        out.update(parallel_executor_stats())
         if self.pool is not None:
             out.update(self.pool.stats())
             out["peak_shared_blocks"] = self._peak_shared_blocks

@@ -38,19 +38,36 @@ class SessionState(Enum):
 
 @dataclass(frozen=True)
 class SamplingParams:
-    """Per-request sampling configuration."""
+    """Per-request sampling configuration.
+
+    Validated at construction — and therefore at
+    :meth:`repro.serving.engine.ServingEngine.submit` — so malformed
+    requests fail with a clear error before they can join a batch:
+    ``max_new_tokens`` must be >= 1 (a request that can never produce a
+    token is a caller bug, not a schedulable unit of work) and ``top_k``
+    must be >= 0 (0, the default, disables top-k truncation; negative
+    values are meaningless).
+    """
 
     max_new_tokens: int = 16
     temperature: float = 0.0
+    top_k: int = 0
     stop_token: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.max_new_tokens < 0:
-            raise ValueError("max_new_tokens must be >= 0")
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens} "
+                "(a request must be able to produce at least one token)"
+            )
         if not math.isfinite(self.temperature) or self.temperature < 0:
             raise ValueError(
                 f"temperature must be finite and >= 0, got {self.temperature}"
+            )
+        if self.top_k < 0:
+            raise ValueError(
+                f"top_k must be >= 0 (0 disables truncation), got {self.top_k}"
             )
 
 
@@ -77,6 +94,11 @@ class InferenceSession:
     last_logits: Optional[np.ndarray] = None
     #: Token waiting to be fed through the model at the next decode step.
     pending_token: Optional[int] = None
+    #: Why the session finished: ``"stop"`` (stop token), ``"length"``
+    #: (generation budget), ``"context"`` (context window), ``"capacity"``
+    #: (KV pool can never hold the next step), ``"cancelled"``, or ``""``
+    #: while still running.
+    finish_reason: str = ""
     _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -106,34 +128,33 @@ class InferenceSession:
         if self.last_logits is None:
             raise RuntimeError("no logits available; session not prefilled")
         return sample_token(self.last_logits, self.params.temperature,
-                            self._rng)
+                            self._rng, top_k=self.params.top_k)
 
     def advance(self, max_seq_len: int) -> None:
         """Sample one token and update the termination/pending state.
 
         Mirrors the sequential :class:`repro.llm.inference.Generator` loop
-        exactly: nothing is sampled once the budget is spent (a zero-budget
-        request generates zero tokens); after a token is recorded, the
-        session finishes if it was the stop token, the generation budget is
-        exhausted, or the context window is full; otherwise the token is
-        queued for the next batched forward pass.
+        exactly: nothing is sampled once the budget is spent; after a token
+        is recorded, the session finishes if it was the stop token, the
+        generation budget is exhausted, or the context window is full;
+        otherwise the token is queued for the next batched forward pass.
         """
         if len(self.generated_tokens) >= self.params.max_new_tokens:
-            self.finish()
+            self.finish("length")
             return
         token = self.sample()
         self.generated_tokens.append(token)
         params = self.params
         if params.stop_token is not None and token == params.stop_token:
-            self.finish()
+            self.finish("stop")
         elif len(self.generated_tokens) >= params.max_new_tokens:
-            self.finish()
+            self.finish("length")
         elif self.position >= max_seq_len - 1:
-            self.finish()
+            self.finish("context")
         else:
             self.pending_token = token
 
-    def finish(self) -> None:
+    def finish(self, reason: str = "") -> None:
         """Mark the session complete and release its per-request memory.
 
         The KV caches are the bulk of a session's footprint and are dead
@@ -145,6 +166,8 @@ class InferenceSession:
         session.
         """
         self.state = SessionState.FINISHED
+        if reason:
+            self.finish_reason = reason
         self.pending_token = None
         self.caches = None
         self.last_logits = None

@@ -1,0 +1,163 @@
+"""Plan-cache concurrency: single-flight builds under the worker pool.
+
+The parallel executor introduces real in-process concurrency around the
+plan cache (worker threads, concurrent serving requests), so the cache must
+guarantee *exactly one* offline build per key no matter how many threads
+race into a cold ``get`` — duplicate builds of a 7B-scale layer would
+multiply the most expensive step in the pipeline.
+"""
+
+import threading
+from concurrent.futures import wait
+
+import pytest
+
+import repro.core.plan as plan_mod
+from repro.core.config import TMACConfig
+from repro.core.executor import get_worker_pool
+from repro.core.plan import PlanCache, build_plan
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_weights
+
+HAMMER_THREADS = 8
+CALLS_PER_THREAD = 4
+
+
+def make_qweight(seed=0, m=64, k=128):
+    return quantize_weights(gaussian_weights(m, k, seed=seed), bits=4,
+                            group_size=32)
+
+
+class CountingBuilder:
+    """Wraps build_plan, counting invocations and maximizing the race
+    window with a barrier-like delay on the first build."""
+
+    def __init__(self, delay=0.02):
+        self.calls = 0
+        self.lock = threading.Lock()
+        self.delay = delay
+
+    def __call__(self, qweight, config=None, tile_config=None):
+        with self.lock:
+            self.calls += 1
+        if self.delay:
+            # Keep the build in flight long enough for every hammer thread
+            # to arrive while it is still pending.
+            import time
+
+            time.sleep(self.delay)
+        return build_plan(qweight, config, tile_config)
+
+
+def test_concurrent_get_builds_exactly_once(monkeypatch):
+    cache = PlanCache()
+    builder = CountingBuilder()
+    monkeypatch.setattr(plan_mod, "build_plan", builder)
+    qw = make_qweight(seed=1)
+    config = TMACConfig(bits=4)
+
+    pool = get_worker_pool(HAMMER_THREADS)
+    start = threading.Barrier(HAMMER_THREADS)
+
+    def hammer():
+        start.wait()
+        return [cache.get(qw, config) for _ in range(CALLS_PER_THREAD)]
+
+    futures = [pool.submit(hammer) for _ in range(HAMMER_THREADS)]
+    wait(futures)
+    plans = [p for f in futures for p in f.result()]
+
+    assert builder.calls == 1, "duplicate offline builds under contention"
+    first = plans[0]
+    assert all(p is first for p in plans), "threads got different plans"
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == HAMMER_THREADS * CALLS_PER_THREAD - 1
+    assert stats["entries"] == 1
+
+
+def test_concurrent_distinct_keys_build_independently(monkeypatch):
+    cache = PlanCache()
+    builder = CountingBuilder(delay=0.0)
+    monkeypatch.setattr(plan_mod, "build_plan", builder)
+    qweights = [make_qweight(seed=10 + i) for i in range(4)]
+    config = TMACConfig(bits=4)
+
+    pool = get_worker_pool(HAMMER_THREADS)
+    futures = [pool.submit(cache.get, qw, config)
+               for qw in qweights for _ in range(3)]
+    wait(futures)
+    plans = {id(f.result()) for f in futures}
+
+    assert builder.calls == len(qweights)
+    assert len(plans) == len(qweights)
+    assert cache.stats()["misses"] == len(qweights)
+
+
+def test_failed_build_releases_followers(monkeypatch):
+    """A builder that raises must not deadlock waiters; one of them
+    retries and everyone else converges on the retried plan."""
+    cache = PlanCache()
+    state = {"calls": 0}
+    lock = threading.Lock()
+
+    def flaky_build(qweight, config=None, tile_config=None):
+        with lock:
+            state["calls"] += 1
+            first = state["calls"] == 1
+        if first:
+            import time
+
+            time.sleep(0.02)
+            raise RuntimeError("transient build failure")
+        return build_plan(qweight, config, tile_config)
+
+    monkeypatch.setattr(plan_mod, "build_plan", flaky_build)
+    qw = make_qweight(seed=30)
+    config = TMACConfig(bits=4)
+    pool = get_worker_pool(HAMMER_THREADS)
+    barrier = threading.Barrier(4)
+
+    def racer():
+        barrier.wait()
+        try:
+            return cache.get(qw, config)
+        except RuntimeError:
+            return None
+
+    futures = [pool.submit(racer) for _ in range(4)]
+    wait(futures, timeout=10)
+    results = [f.result(timeout=1) for f in futures]
+    plans = [p for p in results if p is not None]
+
+    assert len(plans) >= 1, "every caller failed; followers were not retried"
+    assert all(p is plans[0] for p in plans)
+    # Eventually consistent: a fresh get returns the cached plan, no rebuild.
+    calls_before = state["calls"]
+    assert cache.get(qw, config) is plans[0]
+    assert state["calls"] == calls_before
+
+
+def test_single_flight_does_not_break_lru_bound():
+    cache = PlanCache(max_entries=2)
+    config = TMACConfig(bits=4)
+    for seed in range(4):
+        cache.get(make_qweight(seed=40 + seed), config)
+    assert len(cache) == 2
+
+
+@pytest.mark.parametrize("threads", [2, 4])
+def test_hammer_through_kernel_layer(threads):
+    """End to end: concurrent kernel construction against one checkpoint
+    reuses a single plan (the serving engine's rebind pattern)."""
+    from repro.core.kernel import TMACKernel
+    from repro.core.plan import get_plan
+
+    qw = make_qweight(seed=50)
+    config = TMACConfig(bits=4, executor="parallel", num_threads=threads)
+    pool = get_worker_pool(threads)
+    futures = [pool.submit(lambda: TMACKernel.from_plan(
+        get_plan(qw, config), config)) for _ in range(threads * 4)]
+    wait(futures)
+    plans = {id(f.result().plan) for f in futures}
+    assert len(plans) == 1

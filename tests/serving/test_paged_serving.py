@@ -225,15 +225,15 @@ class TestPreemption:
 
     def test_sessions_finishing_at_prefill_release_pages(self, arch,
                                                          shared_weights):
-        """One-token and zero-token sessions never join the decode batch;
-        their pages must still be released (regression: waves of short
-        requests used to leak the pool dry and livelock run())."""
+        """One-token sessions never join the decode batch; their pages must
+        still be released (regression: waves of short requests used to
+        leak the pool dry and livelock run())."""
         model = build_model(arch, shared_weights)
         engine = ServingEngine(model, max_batch_size=4,
                                kv_cache_bytes=page_budget(arch, 8),
                                prefix_caching=False)
         for wave in range(3):
-            ids = [engine.submit([1 + i] * 20, max_new_tokens=wave % 2)
+            ids = [engine.submit([1 + i] * 20, max_new_tokens=1)
                    for i in range(4)]
             results = engine.run(max_steps=50)
             assert all(sid in results for sid in ids)

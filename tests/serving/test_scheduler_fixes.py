@@ -1,0 +1,262 @@
+"""Scheduler correctness fixes: cancel-during-prefill page release,
+capacity-error progress guarantee, submit-time sampling validation, and
+finish-reason reporting."""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.hardware.memory import kv_block_bytes
+from repro.llm import Generator, TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.serving import ServingEngine, SessionState
+
+PAGE = 16
+
+
+def make_arch():
+    return tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                     num_heads=4, vocab_size=97, max_seq_len=192)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return make_arch()
+
+
+@pytest.fixture(scope="module")
+def shared_weights(arch):
+    return generate_random_weights(arch, seed=3)
+
+
+def build_model(arch, weights):
+    return TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+
+
+def page_budget(arch, pages):
+    return pages * kv_block_bytes(arch.num_layers, arch.num_kv_heads,
+                                  arch.head_dim, PAGE)
+
+
+class TestCancelDuringPrefill:
+    """cancel() on a PREFILLING session must return every page it bound."""
+
+    @pytest.mark.parametrize("prefix_caching", [False, True])
+    def test_mid_chunk_cancel_restores_free_pages(self, arch, shared_weights,
+                                                  prefix_caching):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 8),
+                               prefill_chunk=16,
+                               prefix_caching=prefix_caching)
+        baseline = engine.pool.free_blocks
+        prompt = list(np.random.default_rng(1).integers(
+            1, arch.vocab_size, size=60))
+        sid = engine.submit(prompt, max_new_tokens=4)
+        engine.step()  # one 16-token chunk done: session is mid-prefill
+        session = engine.sessions[sid]
+        assert session.state is SessionState.PREFILLING
+        assert engine.pool.free_blocks < baseline  # pages are bound
+        engine.cancel(sid)
+        assert engine.pool.free_blocks == baseline
+        assert engine.pool.allocator.used_blocks == 0
+        assert sid not in engine.sessions
+        assert not engine.has_work
+
+    def test_cancel_before_first_chunk_is_clean(self, arch, shared_weights):
+        """A session admitted but not yet bound holds nothing to leak."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 8),
+                               prefill_chunk=8)
+        baseline = engine.pool.free_blocks
+        sid = engine.submit([1] * 20, max_new_tokens=2)
+        engine.cancel(sid)  # still WAITING: no pages were ever bound
+        assert engine.pool.free_blocks == baseline
+        assert not engine.has_work
+
+    def test_mid_chunk_cancel_keeps_shared_pages_alive(self, arch,
+                                                       shared_weights):
+        """Pages a prefilling session shares with a live sibling survive
+        the cancel (refcounts, not ownership)."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 12),
+                               prefill_chunk=16)
+        prefix = list(np.random.default_rng(2).integers(
+            1, arch.vocab_size, size=48))
+        keeper = engine.submit(prefix + [5], max_new_tokens=4)
+        victim = engine.submit(prefix + [6], max_new_tokens=4)
+        engine.step()  # both mid-prefill, prefix pages shared
+        engine.cancel(victim)
+        results = engine.run()
+        assert set(results) == {keeper}
+        generator = Generator(build_model(arch, shared_weights))
+        assert results[keeper].generated_tokens == generator.generate(
+            prefix + [5], max_new_tokens=4).generated_tokens
+        assert engine.pool.allocator.used_blocks == 0
+
+    def test_pages_reusable_after_mid_chunk_cancel(self, arch,
+                                                   shared_weights):
+        """The pool must be fully allocatable again: a prompt needing every
+        page succeeds right after a mid-prefill cancel."""
+        model = build_model(arch, shared_weights)
+        pages = 4
+        engine = ServingEngine(model, max_batch_size=1,
+                               kv_cache_bytes=page_budget(arch, pages),
+                               prefill_chunk=16, prefix_caching=False)
+        sid = engine.submit([2] * 48, max_new_tokens=4)  # needs 4 pages
+        engine.step()
+        engine.cancel(sid)
+        full = engine.submit([3] * 48, max_new_tokens=4)
+        results = engine.run(max_steps=100)
+        assert full in results
+        assert results[full].finish_reason in ("length", "stop")
+
+
+class TestCapacityProgressGuarantee:
+    """A session the pool can never satisfy fails fast with a capacity
+    error instead of looping through preempt-recompute cycles."""
+
+    def test_single_session_over_budget_fails_with_capacity_error(
+            self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        pages = 2  # 32 positions
+        engine = ServingEngine(model, max_batch_size=1,
+                               kv_cache_bytes=page_budget(arch, pages),
+                               prefix_caching=False)
+        sid = engine.submit([1] * 20, max_new_tokens=50)
+        steps = 0
+        while engine.has_work:
+            engine.step()
+            steps += 1
+            assert steps < 100, "engine failed to make progress"
+        results = engine.results()
+        result = results[sid]
+        assert result.finish_reason == "capacity"
+        # It kept every token that fit before the pool ran dry...
+        assert len(result.generated_tokens) > 0
+        # ...without a single wasteful preempt-recompute cycle.
+        assert engine.preemptions == 0
+        assert engine.serving_stats()["capacity_failures"] == 1
+        assert engine.pool.allocator.used_blocks == 0
+
+    def test_over_budget_session_tokens_match_sequential_prefix(
+            self, arch, shared_weights):
+        """The partial output is the true prefix of an unconstrained run."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=1,
+                               kv_cache_bytes=page_budget(arch, 2),
+                               prefix_caching=False)
+        sid = engine.submit([1] * 20, max_new_tokens=50)
+        results = engine.run(max_steps=100)
+        partial = results[sid].generated_tokens
+        generator = Generator(build_model(arch, shared_weights))
+        full = generator.generate([1] * 20,
+                                  max_new_tokens=50).generated_tokens
+        assert partial == full[:len(partial)]
+
+    def test_multi_session_overflow_terminates(self, arch, shared_weights):
+        """Competing sessions in a tight pool either finish normally or
+        fail with a capacity error — run() always drains."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=3,
+                               kv_cache_bytes=page_budget(arch, 4),
+                               prefix_caching=False)
+        ids = [engine.submit([1 + i] * 12, max_new_tokens=40)
+               for i in range(3)]
+        results = engine.run(max_steps=1000)
+        assert set(results) == set(ids)
+        assert engine.has_work is False
+        reasons = {results[sid].finish_reason for sid in ids}
+        assert reasons <= {"length", "stop", "context", "capacity"}
+        assert engine.pool.allocator.used_blocks == 0
+
+
+class TestSubmitValidation:
+    def test_non_positive_max_tokens_rejected_at_submit(self, arch,
+                                                        shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights))
+        with pytest.raises(ValueError):
+            engine.submit([1, 2], max_new_tokens=0)
+        with pytest.raises(ValueError):
+            engine.submit([1, 2], max_new_tokens=-3)
+        assert engine.num_waiting == 0 and not engine.sessions
+
+    def test_negative_top_k_rejected_at_submit(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights))
+        with pytest.raises(ValueError):
+            engine.submit([1, 2], top_k=-1)
+        assert engine.num_waiting == 0 and not engine.sessions
+        engine.submit([1, 2], top_k=0)   # disabled: fine
+        engine.submit([1, 2], top_k=10)  # enabled: fine
+
+    def test_negative_top_k_rejected_in_shared_sampler(self, arch,
+                                                       shared_weights):
+        """The sequential path shares sample_token with serving — it must
+        reject the same inputs, not silently misinterpret them."""
+        import numpy as np
+
+        from repro.llm.inference import sample_token
+
+        with pytest.raises(ValueError):
+            sample_token(np.array([1.0, 2.0, 3.0]), 1.0,
+                         np.random.default_rng(0), top_k=-1)
+        generator = Generator(build_model(arch, shared_weights))
+        with pytest.raises(ValueError):
+            generator.generate([1, 2], max_new_tokens=2, temperature=1.0,
+                               top_k=-1)
+
+    def test_top_k_sampling_matches_sequential(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2)
+        prompt = [4, 9, 2]
+        sid = engine.submit(prompt, max_new_tokens=6, temperature=0.8,
+                            top_k=5, seed=123)
+        other = engine.submit([7, 7], max_new_tokens=6, temperature=0.8,
+                              top_k=3, seed=99)
+        results = engine.run()
+        generator = Generator(build_model(arch, shared_weights), seed=123)
+        expected = generator.generate(prompt, max_new_tokens=6,
+                                      temperature=0.8, top_k=5)
+        assert results[sid].generated_tokens == expected.generated_tokens
+        assert other in results
+
+    def test_top_k_actually_truncates(self, arch, shared_weights):
+        """With top_k=1, temperature sampling degenerates to greedy."""
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=1)
+        topk1 = engine.submit([4, 9, 2], max_new_tokens=6, temperature=2.0,
+                              top_k=1, seed=7)
+        results = engine.run()
+        greedy = Generator(build_model(arch, shared_weights)).generate(
+            [4, 9, 2], max_new_tokens=6, temperature=0.0)
+        assert results[topk1].generated_tokens == greedy.generated_tokens
+
+
+class TestFinishReasons:
+    def test_length_and_stop_reasons(self, arch, shared_weights):
+        model = build_model(arch, shared_weights)
+        engine = ServingEngine(model, max_batch_size=2)
+        by_length = engine.submit([1, 2], max_new_tokens=3)
+        results = engine.run()
+        assert results[by_length].finish_reason == "length"
+
+        probe = Generator(build_model(arch, shared_weights)).generate(
+            [1, 2], max_new_tokens=3)
+        stop = probe.generated_tokens[0]
+        engine2 = ServingEngine(build_model(arch, shared_weights),
+                                max_batch_size=2)
+        by_stop = engine2.submit([1, 2], max_new_tokens=8, stop_token=stop)
+        results2 = engine2.run()
+        assert results2[by_stop].finish_reason == "stop"
+        assert results2[by_stop].generated_tokens == [stop]
+
+    def test_release_preserves_finish_reason(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=1)
+        sid = engine.submit([1, 2], max_new_tokens=2)
+        engine.run()
+        assert engine.release(sid).finish_reason == "length"

@@ -46,9 +46,20 @@ class TestSessionLifecycle:
         with pytest.raises(ValueError):
             InferenceSession(prompt_tokens=[])
 
-    def test_negative_budget_rejected(self):
+    def test_non_positive_budget_rejected(self):
+        """A request must be able to produce at least one token."""
         with pytest.raises(ValueError):
             SamplingParams(max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            SamplingParams(max_new_tokens=0)
+        SamplingParams(max_new_tokens=1)
+
+    def test_invalid_top_k_rejected(self):
+        """top_k < 0 is meaningless; 0 (disabled) and positive are fine."""
+        with pytest.raises(ValueError):
+            SamplingParams(top_k=-1)
+        SamplingParams(top_k=0)
+        SamplingParams(top_k=5)
 
     def test_invalid_temperature_rejected(self):
         """temperature must be finite and >= 0, like the budget check."""
@@ -74,14 +85,16 @@ class TestSessionLifecycle:
         session.finish()
         assert session.finished
 
-    def test_zero_budget_advance_samples_nothing(self):
-        """advance() on a zero-budget session finishes without sampling."""
+    def test_exhausted_budget_advance_samples_nothing(self):
+        """advance() on a spent-budget session finishes without sampling."""
         session = InferenceSession(
-            prompt_tokens=[1], params=SamplingParams(max_new_tokens=0))
+            prompt_tokens=[1], params=SamplingParams(max_new_tokens=1))
+        session.generated_tokens = [3]  # budget already spent
         session.last_logits = np.array([0.0, 1.0], dtype=np.float32)
         session.advance(max_seq_len=64)
         assert session.finished
-        assert session.generated_tokens == []
+        assert session.generated_tokens == [3]
+        assert session.finish_reason == "length"
 
     def test_invalid_requests_rejected_at_submit(self, arch, shared_weights):
         """Bad requests must fail at submit(), not mid-batch in step()."""
@@ -135,7 +148,7 @@ class TestBatchedEqualsSequential:
             ([2, 7], dict(max_new_tokens=9)),
             ([9, 2, 6], dict(max_new_tokens=6)),
             ([5], dict(max_new_tokens=12)),
-            ([8, 8], dict(max_new_tokens=0)),
+            ([8, 8], dict(max_new_tokens=1)),
         ]
         serving = ServingEngine(model, max_batch_size=3)
         ids = [serving.submit(p, **kw) for p, kw in requests]
