@@ -1,0 +1,168 @@
+"""Gateway serving latency under open-loop Poisson arrivals.
+
+The serving-systems complement to the throughput benchmarks: clients
+arrive by a Poisson process (open loop — arrivals do not wait for earlier
+requests, as real traffic does not) at several request rates, each
+streaming one completion over real HTTP against the paged
+continuous-batching engine.  For every rate we record TTFT and TPOT
+(p50/p95) measured at the client, plus goodput (completed tokens per
+second over the makespan), into ``benchmarks/results/gateway_latency.txt``.
+
+The expected shape: TTFT grows with the arrival rate (queueing ahead of
+admission) while TPOT stays comparatively flat (decode is batched), and
+goodput rises with offered load until the engine saturates.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.core.config import GatewayConfig
+from repro.hardware.memory import kv_block_bytes
+from repro.llm import TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.server import serve_model
+from repro.server.client import stream_completion
+
+PAGE = 16
+REQUESTS_PER_RATE = 10
+MAX_NEW_TOKENS = 8
+ARRIVAL_RATES_RPS = (4.0, 16.0, 64.0)
+
+
+def build_model():
+    arch = tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                     num_heads=4, vocab_size=97, max_seq_len=192)
+    weights = generate_random_weights(arch, seed=3)
+    model = TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+    return arch, model
+
+
+async def _one_request(host, port, prompt):
+    """Stream one completion; returns (ttft_s, tpot_s, tokens)."""
+    start = time.perf_counter()
+    first_at = None
+    last_at = start
+    count = 0
+    stream = await stream_completion(
+        host, port, {"prompt": prompt, "max_tokens": MAX_NEW_TOKENS})
+    async for chunk in stream:
+        if chunk["choices"][0]["token"] is None:
+            continue
+        now = time.perf_counter()
+        if first_at is None:
+            first_at = now
+        last_at = now
+        count += 1
+    ttft = first_at - start if first_at is not None else float("nan")
+    tpot = ((last_at - first_at) / (count - 1)
+            if first_at is not None and count > 1 else float("nan"))
+    return ttft, tpot, count
+
+
+async def _run_rate(host, port, rate_rps, rng):
+    """Open-loop: fire REQUESTS_PER_RATE clients at Poisson arrivals."""
+    gaps = rng.exponential(1.0 / rate_rps, size=REQUESTS_PER_RATE)
+    tasks = []
+    start = time.perf_counter()
+    for i, gap in enumerate(gaps):
+        await asyncio.sleep(gap)
+        prompt = [1 + (3 * i) % 90, 5, 9 + (2 * i) % 80]
+        tasks.append(asyncio.create_task(
+            _one_request(host, port, prompt)))
+    outcomes = await asyncio.gather(*tasks)
+    makespan = time.perf_counter() - start
+    return outcomes, makespan
+
+
+@pytest.mark.benchmark(group="gateway-latency")
+def test_gateway_open_loop_latency(record_table, benchmark):
+    arch, model = build_model()
+    budget = 64 * kv_block_bytes(arch.num_layers, arch.num_kv_heads,
+                                 arch.head_dim, PAGE)
+
+    rows = []
+    summary = {}
+
+    async def run_all():
+        gateway = serve_model(model, GatewayConfig(port=0),
+                              max_batch_size=4, kv_cache_bytes=budget,
+                              prefill_chunk=32)
+        gateway.runner.start()
+        host, port = await gateway.start()
+        try:
+            rng = np.random.default_rng(42)
+            for rate in ARRIVAL_RATES_RPS:
+                outcomes, makespan = await _run_rate(host, port, rate, rng)
+                ttfts = np.array([o[0] for o in outcomes])
+                tpots = np.array([o[1] for o in outcomes
+                                  if np.isfinite(o[1])])
+                tokens = sum(o[2] for o in outcomes)
+                goodput = tokens / makespan
+                summary[rate] = {
+                    "completed": len(outcomes),
+                    "tokens": tokens,
+                    "ttft_p50_ms": float(np.percentile(ttfts, 50) * 1e3),
+                    "ttft_p95_ms": float(np.percentile(ttfts, 95) * 1e3),
+                    "tpot_p50_ms": float(np.percentile(tpots, 50) * 1e3),
+                    "tpot_p95_ms": float(np.percentile(tpots, 95) * 1e3),
+                    "goodput_tok_s": goodput,
+                }
+        finally:
+            await gateway.stop()
+            gateway.runner.stop()
+
+    asyncio.run(run_all())
+
+    for rate in ARRIVAL_RATES_RPS:
+        s = summary[rate]
+        rows.append([
+            f"{rate:.0f}",
+            s["completed"],
+            f"{s['ttft_p50_ms']:.1f}",
+            f"{s['ttft_p95_ms']:.1f}",
+            f"{s['tpot_p50_ms']:.1f}",
+            f"{s['tpot_p95_ms']:.1f}",
+            f"{s['goodput_tok_s']:.1f}",
+        ])
+    record_table(
+        "gateway_latency",
+        "Gateway open-loop latency (Poisson arrivals, "
+        f"{REQUESTS_PER_RATE} streaming requests/rate, "
+        f"{MAX_NEW_TOKENS} tokens each)",
+        ["rate_rps", "completed", "ttft_p50_ms", "ttft_p95_ms",
+         "tpot_p50_ms", "tpot_p95_ms", "goodput_tok_s"],
+        rows,
+    )
+
+    # Sanity: every request completed fully at every rate, and latency
+    # numbers are physical.
+    for rate in ARRIVAL_RATES_RPS:
+        s = summary[rate]
+        assert s["completed"] == REQUESTS_PER_RATE
+        assert s["tokens"] == REQUESTS_PER_RATE * MAX_NEW_TOKENS
+        assert s["ttft_p50_ms"] > 0
+        assert s["goodput_tok_s"] > 0
+    # Offered load spans 16x; goodput must rise with it (the engine is
+    # nowhere near saturation at 4 rps with a tiny model).
+    assert summary[ARRIVAL_RATES_RPS[-1]]["goodput_tok_s"] > \
+        summary[ARRIVAL_RATES_RPS[0]]["goodput_tok_s"]
+
+    # pytest-benchmark hook: one representative streamed completion.
+    async def one():
+        gateway = serve_model(model, GatewayConfig(port=0),
+                              max_batch_size=4, kv_cache_bytes=budget)
+        gateway.runner.start()
+        host, port = await gateway.start()
+        try:
+            return await _one_request(host, port, [1, 5, 9])
+        finally:
+            await gateway.stop()
+            gateway.runner.stop()
+
+    benchmark.pedantic(lambda: asyncio.run(one()), rounds=3, iterations=1)

@@ -41,6 +41,15 @@ The package is organised as a set of subsystems:
     requests, and :class:`~repro.kvcache.paged.PagedKVCache`, a drop-in
     for the per-layer :class:`~repro.llm.layers.KVCache`.
 
+``repro.server``
+    The network service layer over ``repro.serving``: an asyncio HTTP
+    gateway (OpenAI-style ``/v1/completions`` with SSE token streaming,
+    ``/healthz``, Prometheus ``/metrics``), an engine-runner thread with
+    per-token stream hooks, and bounded admission with deadlines,
+    priorities and 429 backpressure.  Imported lazily — ``from
+    repro.server import serve_model`` — to keep the kernel-only import
+    path light.
+
 ``repro.simd``
     A SIMD instruction-counting machine that executes the T-MAC and the
     dequantization inner loops with modeled TBL/PSHUF/rhadd instructions.

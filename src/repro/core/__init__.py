@@ -16,7 +16,7 @@ footprints, working sets) consumed by the SIMD and cost models, and
 
 from repro.core.aggregation import exact_aggregate, fast_aggregate
 from repro.core.bitserial import BitSerialTransform, compose_bits, decompose_bits
-from repro.core.config import TMACConfig, ablation_stages
+from repro.core.config import GatewayConfig, TMACConfig, ablation_stages
 from repro.core.executor import (
     KernelExecutor,
     LoopExecutor,
@@ -40,6 +40,7 @@ from repro.core.weights import PreprocessedWeights, preprocess_weights
 
 __all__ = [
     "TMACConfig",
+    "GatewayConfig",
     "TMACKernel",
     "KernelPlan",
     "KernelExecutor",

@@ -29,6 +29,7 @@ from repro.core.tiling import TileConfig
 
 __all__ = [
     "TMACConfig",
+    "GatewayConfig",
     "ablation_stages",
     "ABLATION_STAGE_NAMES",
     "DEFAULT_PARALLEL_THRESHOLD",
@@ -189,6 +190,116 @@ class TMACConfig:
         return 2 if self.act_dtype == "float16" else 4
 
     def with_options(self, **kwargs) -> "TMACConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def _env_str(name: str, default: str) -> str:
+    return os.environ.get(name, default)
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the asyncio serving gateway (:mod:`repro.server`).
+
+    Every default is overridable through a ``REPRO_GATEWAY_*`` environment
+    variable (evaluated at construction, like ``REPRO_EXECUTOR`` /
+    ``REPRO_NUM_THREADS`` for :class:`TMACConfig`), so deployments tune
+    the frontend without code changes.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (tests, and
+        the demo); the bound port is reported by ``Gateway.start()``.
+        Env: ``REPRO_GATEWAY_HOST`` / ``REPRO_GATEWAY_PORT``.
+    max_queue_depth:
+        Backpressure bound on requests waiting for engine admission; once
+        reached, new completions are rejected with HTTP 429 and a
+        ``Retry-After`` header instead of growing the queue without
+        bound.  Env: ``REPRO_GATEWAY_QUEUE_DEPTH``.
+    default_timeout_s:
+        Deadline applied to requests that do not carry their own
+        ``timeout``; ``None`` (default) means no implicit deadline.
+        Env: ``REPRO_GATEWAY_TIMEOUT_S``.
+    retry_after_s:
+        Floor of the ``Retry-After`` hint on 429 responses (the gateway
+        raises it to its moving estimate of one request's service time).
+        Env: ``REPRO_GATEWAY_RETRY_AFTER_S``.
+    poll_interval_s:
+        How long the engine-runner thread sleeps waiting for work when
+        the engine is idle.  Env: ``REPRO_GATEWAY_POLL_S``.
+    max_body_bytes:
+        Largest accepted request body (413 beyond it).
+        Env: ``REPRO_GATEWAY_MAX_BODY``.
+    metrics_namespace:
+        Prefix of every exported Prometheus metric name.
+        Env: ``REPRO_GATEWAY_METRICS_NAMESPACE``.
+    """
+
+    host: str = field(
+        default_factory=lambda: _env_str("REPRO_GATEWAY_HOST", "127.0.0.1"))
+    port: int = field(
+        default_factory=lambda: _env_int("REPRO_GATEWAY_PORT", 8080))
+    max_queue_depth: int = field(
+        default_factory=lambda: _env_int("REPRO_GATEWAY_QUEUE_DEPTH", 64))
+    default_timeout_s: Optional[float] = field(
+        default_factory=lambda: _env_float("REPRO_GATEWAY_TIMEOUT_S", None))
+    retry_after_s: float = field(
+        default_factory=lambda: _env_float("REPRO_GATEWAY_RETRY_AFTER_S", 1.0))
+    poll_interval_s: float = field(
+        default_factory=lambda: _env_float("REPRO_GATEWAY_POLL_S", 0.002))
+    max_body_bytes: int = field(
+        default_factory=lambda: _env_int("REPRO_GATEWAY_MAX_BODY", 1 << 20))
+    metrics_namespace: str = field(
+        default_factory=lambda: _env_str("REPRO_GATEWAY_METRICS_NAMESPACE",
+                                         "gateway"))
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ValueError(
+                f"default_timeout_s must be > 0, got {self.default_timeout_s}")
+        if self.retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be > 0, got {self.retry_after_s}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}")
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}")
+        if not self.metrics_namespace.replace("_", "").isalnum():
+            raise ValueError(
+                "metrics_namespace must be alphanumeric/underscore, got "
+                f"{self.metrics_namespace!r}"
+            )
+
+    def with_options(self, **kwargs) -> "GatewayConfig":
         """Return a copy of this config with the given fields replaced."""
         return replace(self, **kwargs)
 

@@ -11,14 +11,14 @@ shape enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.llm.layers import softmax
 from repro.llm.model import TransformerModel
 
-__all__ = ["GenerationResult", "Generator", "sample_token"]
+__all__ = ["GenerationResult", "Generator", "StreamAssembler", "sample_token"]
 
 
 def sample_token(logits: np.ndarray, temperature: float,
@@ -66,6 +66,67 @@ class GenerationResult:
         return list(self.prompt_tokens) + list(self.generated_tokens)
 
 
+class StreamAssembler:
+    """Re-assemble a per-token stream into a :class:`GenerationResult`.
+
+    The serving gateway delivers generations incrementally (one token per
+    event plus one terminal event carrying the finish reason).  Consumers
+    that want the whole completion — the gateway's non-streaming response
+    path, tests asserting streamed == sequential, future detokenizers that
+    must see tokens exactly once and in order — feed the events through
+    this assembler, which enforces the stream contract instead of trusting
+    it:
+
+    * token indices must be contiguous from 0 (no gaps, duplicates or
+      reordering — the guarantee incremental detokenization relies on);
+    * exactly one terminal event, after which the stream is immutable;
+    * the result is only available once the stream has finished.
+    """
+
+    def __init__(self, prompt_tokens: Sequence[int]):
+        self.prompt_tokens = [int(t) for t in prompt_tokens]
+        self.generated_tokens: List[int] = []
+        self.finish_reason: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the terminal event has been consumed."""
+        return self.finish_reason is not None
+
+    def feed_token(self, index: int, token: int) -> None:
+        """Consume one token event (``index`` is 0-based and contiguous)."""
+        if self.finished:
+            raise ValueError(
+                f"token after terminal event (finish_reason="
+                f"{self.finish_reason!r})"
+            )
+        if index != len(self.generated_tokens):
+            raise ValueError(
+                f"out-of-order stream: got token index {index}, expected "
+                f"{len(self.generated_tokens)}"
+            )
+        self.generated_tokens.append(int(token))
+
+    def finish(self, finish_reason: str, decode_steps: int = 0) -> None:
+        """Consume the terminal event."""
+        if self.finished:
+            raise ValueError("stream already finished")
+        self.finish_reason = finish_reason
+        self._decode_steps = decode_steps
+
+    def result(self) -> GenerationResult:
+        """The assembled result; raises until the stream has finished."""
+        if not self.finished:
+            raise ValueError("stream has not finished yet")
+        return GenerationResult(
+            prompt_tokens=list(self.prompt_tokens),
+            generated_tokens=list(self.generated_tokens),
+            prefill_length=len(self.prompt_tokens),
+            decode_steps=self._decode_steps,
+            finish_reason=self.finish_reason,
+        )
+
+
 class Generator:
     """Greedy / temperature sampling generator over a :class:`TransformerModel`."""
 
@@ -81,6 +142,7 @@ class Generator:
         stop_token: Optional[int] = None,
         keep_logits: bool = False,
         top_k: int = 0,
+        stop_tokens: Sequence[int] = (),
     ) -> GenerationResult:
         """Generate tokens autoregressively.
 
@@ -101,12 +163,22 @@ class Generator:
             Restrict temperature sampling to the ``top_k`` highest-logit
             tokens (0, the default, disables truncation) — the same
             semantics as :class:`repro.serving.session.SamplingParams`.
+        stop_tokens:
+            Additional stop-token ids; generation terminates on any of
+            them or on ``stop_token`` (the legacy single-token alias),
+            mirroring ``SamplingParams.stop_tokens`` so batched and
+            sequential runs stop identically.
         """
         prompt = [int(t) for t in prompt_tokens]
         if not prompt:
             raise ValueError("prompt_tokens must be non-empty")
         if max_new_tokens < 0:
             raise ValueError("max_new_tokens must be >= 0")
+        stop_ids = {int(t) for t in stop_tokens}
+        if stop_token is not None:
+            stop_ids.add(int(stop_token))
+        if any(t < 0 for t in stop_ids):
+            raise ValueError("stop tokens must be non-negative ints")
 
         caches = self.model.new_cache()
         result = GenerationResult(prompt_tokens=prompt, generated_tokens=[])
@@ -123,7 +195,7 @@ class Generator:
         for step in range(max_new_tokens):
             token = self._sample(last_logits, temperature, top_k)
             result.generated_tokens.append(token)
-            if stop_token is not None and token == stop_token:
+            if token in stop_ids:
                 result.finish_reason = "stop"
                 break
             if step == max_new_tokens - 1:

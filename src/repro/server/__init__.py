@@ -1,0 +1,50 @@
+"""Async streaming serving gateway over the continuous-batching engine.
+
+The paper's claim is that LUT-based mpGEMM makes edge CPUs viable LLM
+*servers*; :mod:`repro.serving` supplies the batching engine, and this
+subpackage supplies the service layer real traffic needs — the ROADMAP's
+"heavy traffic from millions of users" north star scaled to the
+reproduction:
+
+* :mod:`repro.server.runner` — :class:`EngineRunner`: owns
+  ``ServingEngine.step()`` on a dedicated thread; every engine access is
+  shipped there as a closure, per-token events flow back through the
+  engine's stream hooks.
+* :mod:`repro.server.gateway` — :class:`Gateway`: stdlib-asyncio HTTP
+  frontend (``POST /v1/completions`` with SSE streaming, ``GET
+  /healthz``, ``GET /metrics``) and :func:`serve_model` to build the
+  whole stack.
+* :mod:`repro.server.queue` — bounded admission (HTTP 429 +
+  ``Retry-After`` backpressure) and per-request TTFT/TPOT bookkeeping.
+* :mod:`repro.server.protocol` — request validation, completion/chunk
+  bodies, SSE framing.
+* :mod:`repro.server.metrics` — Prometheus-text counters, gauges and
+  histograms (TTFT, per-token latency, queue depth, preemptions,
+  capacity failures, cache hit rates).
+* :mod:`repro.server.client` — the stdlib asyncio client the tests,
+  demo and latency benchmark drive the gateway with.
+
+Streaming never perturbs results: tokens come out of the same engine
+step loop the in-process tests drive, so the concatenated stream of each
+request is token-identical to a sequential temperature-0
+:class:`repro.llm.inference.Generator` run — asserted end-to-end over
+HTTP in ``tests/server/test_gateway.py``.
+"""
+
+from repro.server.gateway import Gateway, serve_model
+from repro.server.metrics import GatewayMetrics
+from repro.server.protocol import CompletionRequest, ProtocolError
+from repro.server.queue import QueueFull, RequestLifecycle, RequestTicket
+from repro.server.runner import EngineRunner
+
+__all__ = [
+    "Gateway",
+    "serve_model",
+    "EngineRunner",
+    "GatewayMetrics",
+    "CompletionRequest",
+    "ProtocolError",
+    "QueueFull",
+    "RequestLifecycle",
+    "RequestTicket",
+]

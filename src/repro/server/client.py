@@ -1,0 +1,209 @@
+"""Minimal asyncio HTTP client for the serving gateway (stdlib only).
+
+The test suite, the demo and the open-loop latency benchmark all need the
+same three things — a GET, a JSON POST, and an SSE stream iterator that
+understands the gateway's chunked transfer encoding — and none of them
+should depend on an HTTP library the container may not have.  This client
+speaks exactly the dialect :mod:`repro.server.gateway` serves (HTTP/1.1,
+one request per connection) and nothing more.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+from repro.server.protocol import parse_sse_payload
+
+__all__ = ["GatewayError", "http_get", "post_completion",
+           "stream_completion"]
+
+
+class GatewayError(RuntimeError):
+    """Non-2xx response from the gateway."""
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+        try:
+            detail = json.loads(body).get("error", {}).get("message", "")
+        except Exception:
+            detail = body.decode("latin-1", "replace")[:200]
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+async def _read_head(reader: asyncio.StreamReader,
+                     ) -> Tuple[int, Dict[str, str]]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionResetError("server closed the connection")
+    parts = status_line.decode("latin-1").split(None, 2)
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _read_body(reader: asyncio.StreamReader,
+                     headers: Dict[str, str]) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        chunks = []
+        async for piece in _iter_chunks(reader):
+            chunks.append(piece)
+        return b"".join(chunks)
+    length = int(headers.get("content-length", "0"))
+    return await reader.readexactly(length) if length else b""
+
+
+async def _iter_chunks(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    """Decode a chunked transfer-encoded body piece by piece."""
+    while True:
+        size_line = await reader.readline()
+        size = int(size_line.strip() or b"0", 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF after the last chunk
+            return
+        piece = await reader.readexactly(size)
+        await reader.readexactly(2)  # CRLF after each chunk
+        yield piece
+
+
+def _request_bytes(method: str, path: str, host: str,
+                   body: bytes = b"",
+                   content_type: str = "application/json") -> bytes:
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode() + body
+
+
+async def http_get(host: str, port: int, path: str,
+                   ) -> Tuple[int, Dict[str, str], bytes]:
+    """One GET; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes("GET", path, host))
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        body = await _read_body(reader, headers)
+        return status, headers, body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def post_completion(host: str, port: int,
+                          payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Non-streaming completion; returns the parsed JSON body.
+
+    Raises :class:`GatewayError` on any non-200 status (the 429
+    backpressure path included — its ``retry-after`` header is available
+    on the exception).
+    """
+    body = json.dumps(payload).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes("POST", "/v1/completions", host, body))
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        response = await _read_body(reader, headers)
+        if status != 200:
+            raise GatewayError(status, headers, response)
+        return json.loads(response)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+class _SSEStream:
+    """Async iterator over a streaming completion's chunk payloads.
+
+    Yields the parsed JSON of each SSE event and stops cleanly at
+    ``data: [DONE]``.  Exposes the connection so a caller can *abandon*
+    the stream mid-flight (``await close()``) — the client-disconnect
+    path the gateway must answer with a cancel.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._buffer = b""
+        self._chunks = _iter_chunks(reader)
+        self._done = False
+
+    def __aiter__(self) -> "_SSEStream":
+        return self
+
+    async def __anext__(self) -> Dict[str, Any]:
+        while True:
+            event, sep, rest = self._buffer.partition(b"\n\n")
+            if sep:
+                self._buffer = rest
+                payload = parse_sse_payload(event.decode())
+                if payload is None:  # [DONE]
+                    self._done = True
+                    await self.close()
+                    raise StopAsyncIteration
+                return payload
+            if self._done:
+                raise StopAsyncIteration
+            try:
+                self._buffer += await self._chunks.__anext__()
+            except StopAsyncIteration:
+                self._done = True
+                if not self._buffer.strip():
+                    raise
+                continue
+
+    async def close(self) -> None:
+        """Drop the connection (mid-stream: simulates a disconnect)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def stream_completion(host: str, port: int,
+                            payload: Dict[str, Any]) -> _SSEStream:
+    """Open a streaming completion; returns an async chunk iterator.
+
+    The returned stream yields one parsed chunk dict per SSE event —
+    token chunks first, then the terminal chunk carrying
+    ``finish_reason`` — and closes the connection at ``[DONE]``.  Raises
+    :class:`GatewayError` if the gateway answers with a non-200 status
+    (backpressure, validation) before any chunk flows.
+    """
+    body = json.dumps(dict(payload, stream=True)).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes("POST", "/v1/completions", host, body))
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        if status != 200:
+            response = await _read_body(reader, headers)
+            raise GatewayError(status, headers, response)
+    except BaseException:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+        raise
+    return _SSEStream(reader, writer)

@@ -1,0 +1,196 @@
+"""Wire protocol of the serving gateway: OpenAI-style completions + SSE.
+
+The gateway speaks a token-id dialect of the OpenAI completions API — the
+reproduction has no tokenizer, so ``prompt`` is a list of token ids and
+streamed chunks carry token ids.  This module owns everything about the
+wire shape and nothing about scheduling:
+
+* :class:`CompletionRequest` — strict parsing/validation of the POST
+  body.  Unknown fields are rejected (a typo'd ``"temprature"`` silently
+  sampling greedily is the worst kind of bug), type errors carry the
+  field name, and semantic validation (temperature range etc.) is left
+  to :class:`repro.serving.session.SamplingParams` so there is exactly
+  one source of truth.
+* Response builders for the non-streaming JSON body, the per-token SSE
+  chunks and the terminal chunk, plus the ``data: [DONE]`` sentinel that
+  ends every stream (OpenAI convention).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ProtocolError",
+    "CompletionRequest",
+    "completion_body",
+    "chunk_body",
+    "error_body",
+    "sse_event",
+    "parse_sse_payload",
+    "SSE_DONE",
+]
+
+#: Stream terminator, after the terminal chunk (OpenAI convention).
+SSE_DONE = b"data: [DONE]\n\n"
+
+
+class ProtocolError(ValueError):
+    """A malformed request body; maps to HTTP 400."""
+
+
+def _require(obj: Dict[str, Any], key: str, types, default):
+    value = obj.get(key, default)
+    if value is default and key not in obj:
+        return default
+    if isinstance(value, bool) and bool not in (
+            types if isinstance(types, tuple) else (types,)):
+        # bool is an int subclass; "max_tokens": true must not parse.
+        raise ProtocolError(f"field {key!r} has the wrong type")
+    if not isinstance(value, types):
+        raise ProtocolError(f"field {key!r} has the wrong type")
+    return value
+
+
+def _token_list(value: Any, key: str) -> List[int]:
+    if not isinstance(value, list) or not all(
+            isinstance(t, int) and not isinstance(t, bool) for t in value):
+        raise ProtocolError(f"field {key!r} must be a list of token ids")
+    return [int(t) for t in value]
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """A validated ``POST /v1/completions`` body."""
+
+    prompt: Tuple[int, ...]
+    max_tokens: int = 16
+    temperature: float = 0.0
+    top_k: int = 0
+    stop: Tuple[int, ...] = ()
+    stream: bool = False
+    seed: int = 0
+    priority: int = 0
+    #: Request deadline in seconds from submission; ``None`` falls back
+    #: to the gateway's ``default_timeout_s``.
+    timeout_s: Optional[float] = None
+
+    _FIELDS = frozenset({
+        "prompt", "max_tokens", "max_new_tokens", "temperature", "top_k",
+        "stop", "stream", "seed", "priority", "timeout",
+    })
+
+    @classmethod
+    def from_json(cls, obj: Any) -> "CompletionRequest":
+        if not isinstance(obj, dict):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = set(obj) - cls._FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown fields: {sorted(unknown)} (accepted: "
+                f"{sorted(cls._FIELDS)})"
+            )
+        if "prompt" not in obj:
+            raise ProtocolError("field 'prompt' is required")
+        prompt = _token_list(obj["prompt"], "prompt")
+        if not prompt:
+            raise ProtocolError("field 'prompt' must be non-empty")
+        if "max_tokens" in obj and "max_new_tokens" in obj:
+            raise ProtocolError(
+                "give either 'max_tokens' or 'max_new_tokens', not both")
+        max_tokens = _require(obj, "max_tokens", int, 16)
+        if "max_new_tokens" in obj:
+            max_tokens = _require(obj, "max_new_tokens", int, 16)
+        temperature = float(_require(obj, "temperature", (int, float), 0.0))
+        top_k = _require(obj, "top_k", int, 0)
+        stop_raw = obj.get("stop", [])
+        if isinstance(stop_raw, int) and not isinstance(stop_raw, bool):
+            stop_raw = [stop_raw]
+        stop = tuple(_token_list(stop_raw, "stop"))
+        stream = _require(obj, "stream", bool, False)
+        seed = _require(obj, "seed", int, 0)
+        priority = _require(obj, "priority", int, 0)
+        timeout_s = obj.get("timeout")
+        if timeout_s is not None:
+            if isinstance(timeout_s, bool) or \
+                    not isinstance(timeout_s, (int, float)):
+                raise ProtocolError("field 'timeout' must be a number")
+            timeout_s = float(timeout_s)
+            if timeout_s <= 0:
+                raise ProtocolError("field 'timeout' must be > 0 seconds")
+        return cls(prompt=tuple(prompt), max_tokens=max_tokens,
+                   temperature=temperature, top_k=top_k, stop=stop,
+                   stream=stream, seed=seed, priority=priority,
+                   timeout_s=timeout_s)
+
+
+# ---------------------------------------------------------------------- #
+# Response bodies
+# ---------------------------------------------------------------------- #
+
+def completion_body(request_id: int, model: str, prompt_tokens: int,
+                    generated_tokens: List[int],
+                    finish_reason: str) -> Dict[str, Any]:
+    """The non-streaming ``text_completion`` response body."""
+    return {
+        "id": f"cmpl-{request_id}",
+        "object": "text_completion",
+        "model": model,
+        "choices": [{
+            "index": 0,
+            "tokens": list(generated_tokens),
+            "finish_reason": finish_reason,
+        }],
+        "usage": {
+            "prompt_tokens": prompt_tokens,
+            "completion_tokens": len(generated_tokens),
+            "total_tokens": prompt_tokens + len(generated_tokens),
+        },
+    }
+
+
+def chunk_body(request_id: int, model: str, index: int,
+               token: Optional[int],
+               finish_reason: Optional[str] = None) -> Dict[str, Any]:
+    """One streaming chunk: a token event or the terminal event."""
+    return {
+        "id": f"cmpl-{request_id}",
+        "object": "text_completion.chunk",
+        "model": model,
+        "choices": [{
+            "index": 0,
+            "token": token,
+            "token_index": index,
+            "finish_reason": finish_reason,
+        }],
+    }
+
+
+def error_body(message: str, error_type: str = "invalid_request_error",
+               **extra: Any) -> Dict[str, Any]:
+    body: Dict[str, Any] = {
+        "error": {"message": message, "type": error_type}
+    }
+    body["error"].update(extra)
+    return body
+
+
+# ---------------------------------------------------------------------- #
+# SSE framing
+# ---------------------------------------------------------------------- #
+
+def sse_event(payload: Dict[str, Any]) -> bytes:
+    """Frame one JSON payload as a server-sent event."""
+    return b"data: " + json.dumps(payload, separators=(",", ":")).encode() \
+        + b"\n\n"
+
+
+def parse_sse_payload(event: str) -> Optional[Dict[str, Any]]:
+    """Parse one SSE event body; ``None`` for the ``[DONE]`` sentinel."""
+    data = event[len("data: "):] if event.startswith("data: ") else event
+    data = data.strip()
+    if data == "[DONE]":
+        return None
+    return json.loads(data)

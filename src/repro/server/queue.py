@@ -1,0 +1,170 @@
+"""Gateway-side request lifecycle: admission control and per-request
+bookkeeping.
+
+The engine already schedules admitted work (priority-aware, deadline-
+expiring — :mod:`repro.serving.engine`); this module is the layer above
+it that the HTTP frontend talks to:
+
+* :class:`RequestLifecycle` — bounded admission.  When the engine's
+  waiting queue exceeds ``max_queue_depth``, new completions are refused
+  with :class:`QueueFull` (the gateway turns that into HTTP 429 with a
+  ``Retry-After`` hint derived from an exponential moving average of
+  recent request service times) instead of queueing without bound —
+  backpressure, not buffering.
+* :class:`RequestTicket` — one in-flight request's timeline (submitted /
+  first token / finished, token count, finish reason), from which the
+  gateway derives per-request TTFT and TPOT without touching engine
+  internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = ["QueueFull", "RequestTicket", "RequestLifecycle"]
+
+_request_counter = itertools.count()
+
+
+class QueueFull(RuntimeError):
+    """Raised when admission is refused; carries the Retry-After hint."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class RequestTicket:
+    """Timeline and bookkeeping of one gateway request."""
+
+    request_id: int = field(default_factory=lambda: next(_request_counter))
+    priority: int = 0
+    timeout_s: Optional[float] = None
+    submitted_at: float = 0.0
+    session_id: Optional[int] = None
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    finish_reason: str = ""
+    tokens: int = 0
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Seconds from submission to the first streamed token."""
+        if self.first_token_at is None:
+            return None
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def tpot_s(self) -> Optional[float]:
+        """Mean time per output token after the first (None if < 2)."""
+        if (self.first_token_at is None or self.finished_at is None
+                or self.tokens < 2):
+            return None
+        return (self.finished_at - self.first_token_at) / (self.tokens - 1)
+
+
+class RequestLifecycle:
+    """Bounded admission plus an EWMA of request service times.
+
+    ``admit()`` is handed the *observed* queue depth (the engine runner's
+    waiting count) rather than keeping its own shadow copy — the engine is
+    the source of truth; this object only decides and records.  All
+    methods are thread-safe: the event loop admits while the runner
+    thread's stream hooks record progress.
+    """
+
+    def __init__(self, max_queue_depth: int, retry_after_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 ewma_alpha: float = 0.3):
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_s = retry_after_s
+        self.clock = clock
+        self._ewma_alpha = ewma_alpha
+        self._mean_service_s: Optional[float] = None
+        self._lock = threading.Lock()
+        self._in_flight: Dict[int, RequestTicket] = {}
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def admit(self, queue_depth: int, priority: int = 0,
+              timeout_s: Optional[float] = None) -> RequestTicket:
+        """Open a ticket, or raise :class:`QueueFull` with a retry hint."""
+        with self._lock:
+            if queue_depth >= self.max_queue_depth:
+                self.rejected_total += 1
+                raise QueueFull(
+                    f"admission queue is full ({queue_depth} waiting, "
+                    f"bound {self.max_queue_depth})",
+                    retry_after_s=self._retry_after_locked(),
+                )
+            ticket = RequestTicket(priority=priority, timeout_s=timeout_s,
+                                   submitted_at=self.clock())
+            self._in_flight[ticket.request_id] = ticket
+            self.admitted_total += 1
+            return ticket
+
+    def _retry_after_locked(self) -> float:
+        """Retry hint: at least the configured floor, at most a minute."""
+        hint = self.retry_after_s
+        if self._mean_service_s is not None:
+            hint = max(hint, self._mean_service_s)
+        return min(math.ceil(hint), 60.0)
+
+    @property
+    def retry_after_hint_s(self) -> float:
+        with self._lock:
+            return self._retry_after_locked()
+
+    # ------------------------------------------------------------------ #
+    # Progress
+    # ------------------------------------------------------------------ #
+
+    def note_token(self, ticket: RequestTicket) -> None:
+        """Record one streamed token (the first one fixes TTFT)."""
+        with self._lock:
+            now = self.clock()
+            if ticket.first_token_at is None:
+                ticket.first_token_at = now
+            ticket.tokens += 1
+
+    def close(self, ticket: RequestTicket, finish_reason: str) -> None:
+        """Finish a ticket and fold its duration into the service EWMA."""
+        with self._lock:
+            if ticket.request_id not in self._in_flight:
+                return  # already closed (disconnect race): keep idempotent
+            ticket.finished_at = self.clock()
+            ticket.finish_reason = finish_reason
+            del self._in_flight[ticket.request_id]
+            duration = ticket.finished_at - ticket.submitted_at
+            if self._mean_service_s is None:
+                self._mean_service_s = duration
+            else:
+                alpha = self._ewma_alpha
+                self._mean_service_s = (alpha * duration
+                                        + (1 - alpha) * self._mean_service_s)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._in_flight)
+
+    @property
+    def mean_service_s(self) -> Optional[float]:
+        with self._lock:
+            return self._mean_service_s

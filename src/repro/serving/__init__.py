@@ -27,13 +27,19 @@ batched and single-row matmuls — see :mod:`repro.serving.batch`.)
 
 from repro.serving.batch import BatchStats, batched_decode_step, shared_input_forward
 from repro.serving.engine import ServingEngine
-from repro.serving.session import InferenceSession, SamplingParams, SessionState
+from repro.serving.session import (
+    InferenceSession,
+    SamplingParams,
+    SessionState,
+    StreamEvent,
+)
 
 __all__ = [
     "ServingEngine",
     "InferenceSession",
     "SamplingParams",
     "SessionState",
+    "StreamEvent",
     "BatchStats",
     "batched_decode_step",
     "shared_input_forward",

@@ -32,6 +32,18 @@ caches:
   processed ``prefill_chunk`` tokens per engine step instead of stalling
   the whole batch behind one long prompt pass.
 
+Request lifecycle (the serving gateway's substrate): admission is
+priority-aware (higher ``priority`` first, FIFO within a level), requests
+may carry an absolute ``deadline`` on the engine clock (expired requests
+finish with ``finish_reason == "deadline"``, keeping partial tokens), and
+a per-request ``stream_hook`` receives every newly sampled token the step
+it is produced (:class:`repro.serving.session.StreamEvent`) plus exactly
+one terminal event — published exactly once per token even across
+preemption/recompute and chunked prefill.  The engine also records TTFT
+and per-step decode wall time (``serving_stats()`` /
+:meth:`~ServingEngine.drain_timing_samples`) so frontends can export
+latency histograms without wrapping the scheduler.
+
 Determinism: all cross-step state lives in the sessions (KV caches,
 positions, per-session rngs), so batched outputs are identical to running
 each request alone — the serving tests assert token-level equality.  (The
@@ -44,7 +56,9 @@ the BLAS reference backend.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,9 +69,20 @@ from repro.kvcache.pool import DEFAULT_BLOCK_SIZE
 from repro.llm.inference import GenerationResult
 from repro.llm.model import TransformerModel
 from repro.serving.batch import BatchStats, batched_decode_step
-from repro.serving.session import InferenceSession, SamplingParams, SessionState
+from repro.serving.session import (
+    InferenceSession,
+    SamplingParams,
+    SessionState,
+    StreamEvent,
+)
 
 __all__ = ["ServingEngine"]
+
+#: Bound on the buffered TTFT / decode-step wall-time samples held for
+#: :meth:`ServingEngine.drain_timing_samples`.  A consumer (the gateway's
+#: metrics histograms) drains every step; without a consumer the deques
+#: simply keep the most recent samples instead of growing with step count.
+TIMING_SAMPLE_BUFFER = 4096
 
 
 class ServingEngine:
@@ -84,13 +109,19 @@ class ServingEngine:
         ``None`` (default) prefills whole prompts in one pass.
     prefix_caching:
         Whether paged mode registers full pages for cross-request reuse.
+    clock:
+        Monotonic time source (seconds) used for TTFT / decode-step
+        timing and request deadlines.  Injectable so scheduling-policy
+        tests can drive deadlines deterministically; defaults to
+        :func:`time.perf_counter`.
     """
 
     def __init__(self, model: TransformerModel, max_batch_size: int = 8,
                  kv_cache_bytes: Optional[int] = None,
                  page_size: int = DEFAULT_BLOCK_SIZE,
                  prefill_chunk: Optional[int] = None,
-                 prefix_caching: bool = True):
+                 prefix_caching: bool = True,
+                 clock: Callable[[], float] = time.perf_counter):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if prefill_chunk is not None and prefill_chunk < 1:
@@ -114,11 +145,27 @@ class ServingEngine:
         #: Sessions force-finished because the KV pool can never hold their
         #: next step (their results carry ``finish_reason == "capacity"``).
         self.capacity_failures = 0
+        #: Sessions expired past their deadline (``finish_reason ==
+        #: "deadline"``), whether still queued or already running.
+        self.deadline_expirations = 0
+        #: Stream-hook invocations that raised; the exception is swallowed
+        #: (a broken consumer must not take the batch down) and counted.
+        self.stream_hook_errors = 0
+        self.clock = clock
         self._decode_counts: Dict[int, int] = {}
         self._admit_seq: Dict[int, int] = {}
         self._next_seq = 0
+        self._arrival_seq: Dict[int, int] = {}
+        self._next_arrival = 0
         self._peak_kv_bytes = 0
         self._peak_shared_blocks = 0
+        self._ttft_sum = 0.0
+        self._ttft_count = 0
+        self._ttft_samples: deque = deque(maxlen=TIMING_SAMPLE_BUFFER)
+        self._decode_wall_sum = 0.0
+        self._decode_wall_count = 0
+        self._decode_wall_samples: deque = deque(
+            maxlen=TIMING_SAMPLE_BUFFER)
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -131,15 +178,35 @@ class ServingEngine:
         temperature: float = 0.0,
         top_k: int = 0,
         stop_token: Optional[int] = None,
+        stop_tokens: Sequence[int] = (),
         seed: int = 0,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        stream_hook: Optional[Callable[[StreamEvent], None]] = None,
     ) -> int:
         """Queue a generation request; returns its session id.
 
         Invalid requests (empty prompt, out-of-vocabulary tokens, prompt
         longer than the context window, negative/non-finite temperature,
-        ``max_new_tokens < 1``, ``top_k < 0``) are rejected here, at
-        submission — not mid-batch, where a failure would take the whole
-        step down.
+        ``max_new_tokens < 1``, ``top_k < 0``, negative stop tokens) are
+        rejected here, at submission — not mid-batch, where a failure
+        would take the whole step down.
+
+        Request-lifecycle parameters (all optional, defaults reproduce
+        the previous FIFO behaviour):
+
+        * ``priority`` — higher values are admitted first; ties are FIFO
+          by submission order (and preempted sessions keep their original
+          arrival rank, so recompute victims are not starved).
+        * ``deadline`` — absolute time on the engine :attr:`clock` after
+          which the request is expired with ``finish_reason ==
+          "deadline"``, whether still queued or mid-decode; the tokens
+          generated so far are kept.
+        * ``stream_hook`` — callable receiving a
+          :class:`~repro.serving.session.StreamEvent` for every newly
+          sampled token the moment the decode step that produced it
+          completes, plus one terminal event; exceptions raised by the
+          hook are swallowed and counted in ``stream_hook_errors``.
         """
         prompt = [int(t) for t in prompt_tokens]
         arch = self.model.arch
@@ -167,12 +234,18 @@ class ServingEngine:
             temperature=temperature,
             top_k=top_k,
             stop_token=stop_token,
+            stop_tokens=tuple(stop_tokens),
             seed=seed,
         )
-        session = InferenceSession(prompt_tokens=prompt, params=params)
+        session = InferenceSession(prompt_tokens=prompt, params=params,
+                                   priority=priority, deadline=deadline,
+                                   stream_hook=stream_hook)
+        session.submit_time = self.clock()
         self.sessions[session.session_id] = session
         self._waiting.append(session.session_id)
         self._decode_counts[session.session_id] = 0
+        self._arrival_seq[session.session_id] = self._next_arrival
+        self._next_arrival += 1
         return session.session_id
 
     # ------------------------------------------------------------------ #
@@ -183,6 +256,9 @@ class ServingEngine:
     def num_waiting(self) -> int:
         """Requests queued (or preempted) but not currently running."""
         return len(self._waiting)
+
+    #: Alias used by the serving gateway's admission control / metrics.
+    queue_depth = num_waiting
 
     @property
     def num_prefilling(self) -> int:
@@ -199,6 +275,11 @@ class ServingEngine:
         """Whether any request is still waiting, prefilling or decoding."""
         return bool(self._waiting or self._prefilling or self._active)
 
+    def _admission_key(self, session_id: int):
+        """Admission order: highest priority first, then FIFO by arrival."""
+        return (-self.sessions[session_id].priority,
+                self._arrival_seq[session_id])
+
     def _admit(self) -> None:
         """Move waiting sessions into the batch while resources allow.
 
@@ -206,15 +287,20 @@ class ServingEngine:
         history — just the prompt for fresh requests, prompt plus generated
         tokens for preempted ones (recompute).  In paged mode admission is
         gated by the pool's free-page count against the pages the target
-        needs beyond its prefix-cache hits (a non-recording probe);
-        admission is FIFO and stops at the first request that does not
-        fit.  Pages are *bound* at prefill start, not here, so requests
-        admitted in one burst can still share the prefix pages their
-        burst-mates commit moments later.
+        needs beyond its prefix-cache hits (a non-recording probe).
+        Admission order is priority-aware: highest :attr:`InferenceSession.
+        priority` first, FIFO within a priority level (preempted sessions
+        keep their original arrival rank), and stops at the first request
+        in that order which does not fit — deliberate head-of-line
+        blocking, so a large high-priority request is not starved by
+        smaller low-priority ones slipping past it.  Pages are *bound* at
+        prefill start, not here, so requests admitted in one burst can
+        still share the prefix pages their burst-mates commit moments
+        later.
         """
         while self._waiting and (len(self._active) + len(self._prefilling)
                                  < self.max_batch_size):
-            session_id = self._waiting[0]
+            session_id = min(self._waiting, key=self._admission_key)
             session = self.sessions[session_id]
             target = session.tokens
             if self.pool is not None:
@@ -231,7 +317,7 @@ class ServingEngine:
                 if total_pages - self._probe_prefix_pages(target) > \
                         self.pool.free_blocks:
                     break
-            self._waiting.pop(0)
+            self._waiting.remove(session_id)
             session.state = SessionState.PREFILLING
             self._prefilling.append(session_id)
             self._admit_seq[session_id] = self._next_seq
@@ -316,6 +402,7 @@ class ServingEngine:
                 # token on the first sample, context limit): it never
                 # joins _active, so _retire_finished would miss its pages.
                 self._release_pages(session)
+            self._note_progress(session)
 
     def _pages_for(self, num_tokens: int) -> int:
         """KV pages needed to hold ``num_tokens`` positions."""
@@ -405,6 +492,100 @@ class ServingEngine:
         self._release_pages(session)
         session.finish("capacity")
         self.capacity_failures += 1
+        self._note_progress(session)
+
+    def _expire_deadlines(self) -> None:
+        """Finish every live session whose deadline has passed.
+
+        Runs at the top of :meth:`step`, so an expired request is dropped
+        before it can consume admission, prefill or decode work.  Queued
+        and running sessions are treated alike: pages are released, the
+        tokens produced so far are kept, and the result carries
+        ``finish_reason == "deadline"`` (the gateway's request-timeout
+        path; nothing expires when no deadline was given).
+        """
+        now = None
+        for session_id in list(self.sessions):
+            session = self.sessions[session_id]
+            if session.finished or session.deadline is None:
+                continue
+            if now is None:
+                now = self.clock()
+            if now < session.deadline:
+                continue
+            for queue in (self._waiting, self._prefilling, self._active):
+                if session_id in queue:
+                    queue.remove(session_id)
+            self._release_pages(session)
+            session.finish("deadline")
+            self.deadline_expirations += 1
+            self._note_progress(session)
+
+    # ------------------------------------------------------------------ #
+    # Streaming + timing
+    # ------------------------------------------------------------------ #
+
+    def _note_progress(self, session: InferenceSession) -> None:
+        """Record TTFT and publish newly sampled tokens for one session.
+
+        Called after every point where a session can gain tokens or
+        finish (prefill's first sample, each decode advance, capacity /
+        deadline failures, cancel).  ``streamed_tokens`` makes publication
+        exactly-once even across preemption and recompute: a requeued
+        session regrows its KV state but keeps its generated tokens, so
+        nothing is re-published.
+        """
+        if session.ttft is None and session.generated_tokens and \
+                session.submit_time is not None:
+            session.ttft = self.clock() - session.submit_time
+            self._ttft_sum += session.ttft
+            self._ttft_count += 1
+            self._ttft_samples.append(session.ttft)
+        hook = session.stream_hook
+        new_tokens = session.generated_tokens[session.streamed_tokens:]
+        if hook is not None:
+            for offset, token in enumerate(new_tokens):
+                self._emit(hook, StreamEvent(
+                    session_id=session.session_id,
+                    index=session.streamed_tokens + offset,
+                    token=int(token),
+                    finished=False,
+                ))
+        session.streamed_tokens += len(new_tokens)
+        if session.finished and not session.stream_closed:
+            session.stream_closed = True
+            if hook is not None:
+                self._emit(hook, StreamEvent(
+                    session_id=session.session_id,
+                    index=session.streamed_tokens,
+                    token=None,
+                    finished=True,
+                    finish_reason=session.finish_reason,
+                ))
+
+    def _emit(self, hook, event: StreamEvent) -> None:
+        try:
+            hook(event)
+        except Exception:
+            # A consumer crash must not take the whole batch down; the
+            # counter surfaces the problem to metrics/tests.
+            self.stream_hook_errors += 1
+
+    def drain_timing_samples(self) -> Dict[str, List[float]]:
+        """Return and clear the buffered TTFT / decode-step wall samples.
+
+        The gateway's metrics histograms call this once per engine step;
+        the running sums behind ``serving_stats()``'s means are *not*
+        reset.  Buffers are bounded (``TIMING_SAMPLE_BUFFER``), so an
+        engine without a draining consumer keeps the most recent samples.
+        """
+        samples = {
+            "ttft_s": list(self._ttft_samples),
+            "decode_step_s": list(self._decode_wall_samples),
+        }
+        self._ttft_samples.clear()
+        self._decode_wall_samples.clear()
+        return samples
 
     def _commit_prefix_pages(self) -> None:
         """Register newly completed full pages for cross-request reuse."""
@@ -447,12 +628,14 @@ class ServingEngine:
         Returns a small summary (batch size, active/waiting counts) so
         callers can drive scheduling loops and benchmarks.
         """
+        self._expire_deadlines()
         self._admit()
         self._advance_prefills()
         self._reserve_decode_pages()
         batch = [self.sessions[sid] for sid in self._active
                  if self.sessions[sid].pending_token is not None]
         if batch:
+            step_start = self.clock()
             tokens = [session.pending_token for session in batch]
             positions = [session.position for session in batch]
             caches = [session.caches for session in batch]
@@ -465,8 +648,17 @@ class ServingEngine:
                 session.last_logits = logits[row]
                 self._decode_counts[session.session_id] += 1
                 session.advance(self.model.arch.max_seq_len)
+            wall = self.clock() - step_start
+            self._decode_wall_sum += wall
+            self._decode_wall_count += 1
+            self._decode_wall_samples.append(wall)
         self._commit_prefix_pages()
         self._retire_finished()
+        # Publish after retirement so a terminal event is only observable
+        # once the finished session's pages are back in the pool (the
+        # gateway checks free-page baselines on stream completion).
+        for session in batch:
+            self._note_progress(session)
         self._track_kv_peak()
         return {
             "batch_size": len(batch),
@@ -530,14 +722,19 @@ class ServingEngine:
         self._forget(session_id)
         return result
 
-    def cancel(self, session_id: int) -> None:
+    def cancel(self, session_id: int) -> GenerationResult:
         """Abort a waiting or running session and free its KV pages.
 
-        The request is removed from whichever queue holds it, its block
-        references are dropped (pages shared with other sessions survive —
-        refcounts, not ownership), and its bookkeeping is deleted; it will
-        not appear in :meth:`results`.  Cancelling a finished session
-        raises ``ValueError`` — collect it with :meth:`release` instead.
+        The request is removed from whichever queue holds it — including a
+        still-QUEUED session that was never prefilled, the gateway's
+        disconnect-before-admission path — its block references are
+        dropped (pages shared with other sessions survive — refcounts,
+        not ownership), and its bookkeeping is deleted; it will not appear
+        in :meth:`results`.  The partial result (tokens generated so far,
+        ``finish_reason == "cancelled"``) is returned — retrievable
+        exactly once, since the session is forgotten here.  Cancelling a
+        finished session raises ``ValueError`` — collect it with
+        :meth:`release` instead.
         """
         session = self.sessions.get(session_id)
         if session is None:
@@ -556,12 +753,16 @@ class ServingEngine:
         # another live session still shares the pages.
         self._release_pages(session)
         session.finish("cancelled")
+        self._note_progress(session)
+        result = self._result_for(session)
         self._forget(session_id)
+        return result
 
     def _forget(self, session_id: int) -> None:
         del self.sessions[session_id]
         del self._decode_counts[session_id]
         self._admit_seq.pop(session_id, None)
+        self._arrival_seq.pop(session_id, None)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -582,11 +783,20 @@ class ServingEngine:
             "prefill_chunks": self._prefill_chunks,
             "preemptions": self.preemptions,
             "capacity_failures": self.capacity_failures,
+            "deadline_expirations": self.deadline_expirations,
+            "stream_hook_errors": self.stream_hook_errors,
+            "queue_depth": self.num_waiting,
             "decode_steps": self.stats.decode_steps,
             "batched_tokens": self.stats.batched_tokens,
             "mean_batch_size": self.stats.mean_batch_size,
             "lut_precomputes": self.stats.lut_precomputes,
             "lut_reuses": self.stats.lut_reuses,
+            "ttft_count": self._ttft_count,
+            "ttft_mean_s": (self._ttft_sum / self._ttft_count
+                            if self._ttft_count else 0.0),
+            "decode_step_wall_mean_s": (
+                self._decode_wall_sum / self._decode_wall_count
+                if self._decode_wall_count else 0.0),
             "peak_kv_bytes": self._peak_kv_bytes,
             "global_plan_cache_hits": plan_stats["hits"],
             "global_plan_cache_misses": plan_stats["misses"],

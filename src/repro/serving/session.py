@@ -15,14 +15,14 @@ import itertools
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.llm.inference import sample_token
 from repro.llm.layers import KVCache
 
-__all__ = ["SessionState", "SamplingParams", "InferenceSession"]
+__all__ = ["SessionState", "SamplingParams", "InferenceSession", "StreamEvent"]
 
 _session_counter = itertools.count()
 
@@ -47,12 +47,18 @@ class SamplingParams:
     token is a caller bug, not a schedulable unit of work) and ``top_k``
     must be >= 0 (0, the default, disables top-k truncation; negative
     values are meaningless).
+
+    Generation stops at any token in ``stop_tokens``; ``stop_token`` is
+    the historical single-token spelling, kept as a back-compat alias
+    (both may be given — the effective stop set is their union, exposed
+    as :attr:`stop_token_ids`).  Stop tokens must be non-negative ints.
     """
 
     max_new_tokens: int = 16
     temperature: float = 0.0
     top_k: int = 0
     stop_token: Optional[int] = None
+    stop_tokens: Tuple[int, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -69,6 +75,48 @@ class SamplingParams:
             raise ValueError(
                 f"top_k must be >= 0 (0 disables truncation), got {self.top_k}"
             )
+        stops: Tuple[int, ...] = tuple(
+            int(t) for t in self.stop_tokens
+        ) if not isinstance(self.stop_tokens, int) else (self.stop_tokens,)
+        object.__setattr__(self, "stop_tokens", stops)
+        for token in stops + ((self.stop_token,)
+                              if self.stop_token is not None else ()):
+            if int(token) < 0:
+                raise ValueError(
+                    f"stop tokens must be non-negative ints, got {token}"
+                )
+        # Frozen dataclass: the union can never change, and membership is
+        # tested once per decode step per session — build the set once.
+        ids = set(stops)
+        if self.stop_token is not None:
+            ids.add(int(self.stop_token))
+        object.__setattr__(self, "_stop_token_ids", frozenset(ids))
+
+    @property
+    def stop_token_ids(self) -> frozenset:
+        """The effective stop set: ``stop_tokens`` plus the legacy alias."""
+        return self._stop_token_ids
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One streaming notification published by the engine.
+
+    Token events (``finished=False``) carry a newly sampled ``token`` and
+    its 0-based ``index`` within the session's generated tokens; exactly
+    one terminal event (``finished=True``, ``token=None``, ``index`` equal
+    to the generation length) closes every stream with the session's
+    ``finish_reason``.  Events for one session are published in order and
+    exactly once — across preemption/recompute, chunked prefill and any
+    batch composition — so concatenating the token events reproduces the
+    final :class:`repro.llm.inference.GenerationResult` token for token.
+    """
+
+    session_id: int
+    index: int
+    token: Optional[int]
+    finished: bool
+    finish_reason: str = ""
 
 
 @dataclass
@@ -96,9 +144,28 @@ class InferenceSession:
     pending_token: Optional[int] = None
     #: Why the session finished: ``"stop"`` (stop token), ``"length"``
     #: (generation budget), ``"context"`` (context window), ``"capacity"``
-    #: (KV pool can never hold the next step), ``"cancelled"``, or ``""``
-    #: while still running.
+    #: (KV pool can never hold the next step), ``"deadline"`` (expired
+    #: before completing), ``"cancelled"``, or ``""`` while still running.
     finish_reason: str = ""
+    #: Admission priority — higher values are admitted first, ties FIFO.
+    priority: int = 0
+    #: Absolute engine-clock time after which the request is expired with
+    #: ``finish_reason == "deadline"``; ``None`` means no deadline.
+    deadline: Optional[float] = None
+    #: Per-token publication callback (:class:`StreamEvent` -> None), run
+    #: synchronously on the engine's scheduling thread; ``None`` buffers
+    #: tokens until finish, as before.
+    stream_hook: Optional[Callable[[StreamEvent], None]] = field(
+        default=None, repr=False)
+    #: How many generated tokens have already been published (stream
+    #: bookkeeping, kept engine-side progress across preemptions).
+    streamed_tokens: int = 0
+    #: Whether the terminal stream event has been published.
+    stream_closed: bool = False
+    #: Engine-clock timestamp of submit() (None outside an engine).
+    submit_time: Optional[float] = field(default=None, repr=False)
+    #: Seconds from submit to the first generated token (None until then).
+    ttft: Optional[float] = None
     _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -145,7 +212,7 @@ class InferenceSession:
         token = self.sample()
         self.generated_tokens.append(token)
         params = self.params
-        if params.stop_token is not None and token == params.stop_token:
+        if token in params.stop_token_ids:
             self.finish("stop")
         elif len(self.generated_tokens) >= params.max_new_tokens:
             self.finish("length")

@@ -1,0 +1,116 @@
+"""Completion-request parsing, response bodies and SSE framing."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    SSE_DONE,
+    CompletionRequest,
+    ProtocolError,
+    chunk_body,
+    completion_body,
+    error_body,
+    parse_sse_payload,
+    sse_event,
+)
+
+
+class TestCompletionRequestParsing:
+    def test_minimal(self):
+        request = CompletionRequest.from_json({"prompt": [1, 2, 3]})
+        assert request.prompt == (1, 2, 3)
+        assert request.max_tokens == 16
+        assert request.temperature == 0.0
+        assert request.stream is False
+        assert request.timeout_s is None
+
+    def test_full(self):
+        request = CompletionRequest.from_json({
+            "prompt": [4], "max_tokens": 8, "temperature": 0.7,
+            "top_k": 5, "stop": [9, 11], "stream": True, "seed": 3,
+            "priority": 2, "timeout": 1.5,
+        })
+        assert request.max_tokens == 8
+        assert request.stop == (9, 11)
+        assert request.stream is True
+        assert request.priority == 2
+        assert request.timeout_s == 1.5
+
+    def test_max_new_tokens_alias(self):
+        request = CompletionRequest.from_json(
+            {"prompt": [1], "max_new_tokens": 4})
+        assert request.max_tokens == 4
+        with pytest.raises(ProtocolError):
+            CompletionRequest.from_json(
+                {"prompt": [1], "max_tokens": 4, "max_new_tokens": 4})
+
+    def test_single_int_stop(self):
+        request = CompletionRequest.from_json({"prompt": [1], "stop": 7})
+        assert request.stop == (7,)
+
+    @pytest.mark.parametrize("body", [
+        [1, 2],                                  # not an object
+        {},                                      # missing prompt
+        {"prompt": []},                          # empty prompt
+        {"prompt": "abc"},                       # not token ids
+        {"prompt": [1.5]},                       # float token
+        {"prompt": [True]},                      # bool is not a token
+        {"prompt": [1], "max_tokens": "4"},      # wrong type
+        {"prompt": [1], "stream": 1},            # wrong type
+        {"prompt": [1], "stop": "x"},            # wrong type
+        {"prompt": [1], "timeout": 0},           # non-positive timeout
+        {"prompt": [1], "timeout": True},        # bool timeout
+        {"prompt": [1], "temprature": 1.0},      # unknown field (typo)
+    ])
+    def test_malformed_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            CompletionRequest.from_json(body)
+
+    def test_semantic_validation_is_deferred(self):
+        """Range checks live in SamplingParams, not here (one source of
+        truth); the parser only guards types."""
+        request = CompletionRequest.from_json(
+            {"prompt": [1], "temperature": -1.0})
+        assert request.temperature == -1.0
+
+
+class TestResponseBodies:
+    def test_completion_body(self):
+        body = completion_body(7, "m", 3, [5, 6], "length")
+        assert body["id"] == "cmpl-7"
+        assert body["choices"][0]["tokens"] == [5, 6]
+        assert body["choices"][0]["finish_reason"] == "length"
+        assert body["usage"] == {"prompt_tokens": 3,
+                                 "completion_tokens": 2,
+                                 "total_tokens": 5}
+
+    def test_chunk_body(self):
+        token = chunk_body(7, "m", 0, 42)
+        assert token["choices"][0]["token"] == 42
+        assert token["choices"][0]["finish_reason"] is None
+        final = chunk_body(7, "m", 4, None, finish_reason="stop")
+        assert final["choices"][0]["token"] is None
+        assert final["choices"][0]["finish_reason"] == "stop"
+
+    def test_error_body(self):
+        body = error_body("boom", retry_after_s=3)
+        assert body["error"]["message"] == "boom"
+        assert body["error"]["retry_after_s"] == 3
+
+
+class TestSSE:
+    def test_round_trip(self):
+        payload = chunk_body(1, "m", 0, 9)
+        framed = sse_event(payload)
+        assert framed.startswith(b"data: ")
+        assert framed.endswith(b"\n\n")
+        assert parse_sse_payload(framed.decode().strip()) == payload
+
+    def test_done_sentinel(self):
+        assert parse_sse_payload(SSE_DONE.decode().strip()) is None
+
+    def test_compact_json(self):
+        framed = sse_event({"a": 1, "b": [2, 3]})
+        assert b" " not in framed[len(b"data: "):].strip()
+        assert json.loads(framed[len(b"data: "):]) == {"a": 1, "b": [2, 3]}

@@ -1,0 +1,99 @@
+"""Gateway admission control: bounded queue, retry hints, tickets."""
+
+import pytest
+
+from repro.server.queue import QueueFull, RequestLifecycle, RequestTicket
+
+
+class FakeClock:
+    def __init__(self, start: float = 50.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestAdmission:
+    def test_admits_below_bound(self):
+        lifecycle = RequestLifecycle(max_queue_depth=2)
+        ticket = lifecycle.admit(queue_depth=1, priority=3, timeout_s=2.0)
+        assert isinstance(ticket, RequestTicket)
+        assert ticket.priority == 3
+        assert ticket.timeout_s == 2.0
+        assert lifecycle.in_flight == 1
+        assert lifecycle.admitted_total == 1
+
+    def test_rejects_at_bound_with_retry_hint(self):
+        lifecycle = RequestLifecycle(max_queue_depth=2, retry_after_s=1.5)
+        with pytest.raises(QueueFull) as excinfo:
+            lifecycle.admit(queue_depth=2)
+        assert excinfo.value.retry_after_s >= 1.5
+        assert lifecycle.rejected_total == 1
+        assert lifecycle.in_flight == 0
+
+    def test_retry_hint_tracks_service_time(self):
+        clock = FakeClock()
+        lifecycle = RequestLifecycle(max_queue_depth=1, retry_after_s=1.0,
+                                     clock=clock)
+        ticket = lifecycle.admit(queue_depth=0)
+        clock.advance(8.0)
+        lifecycle.close(ticket, "length")
+        assert lifecycle.mean_service_s == 8.0
+        # Slow requests push the hint up (ceil of the EWMA)...
+        assert lifecycle.retry_after_hint_s == 8.0
+        # ...and the hint never exceeds a minute.
+        slow = lifecycle.admit(queue_depth=0)
+        clock.advance(1000.0)
+        lifecycle.close(slow, "length")
+        assert lifecycle.retry_after_hint_s == 60.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RequestLifecycle(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            RequestLifecycle(max_queue_depth=1, ewma_alpha=0.0)
+
+
+class TestTicketTimeline:
+    def test_ttft_and_tpot(self):
+        clock = FakeClock()
+        lifecycle = RequestLifecycle(max_queue_depth=4, clock=clock)
+        ticket = lifecycle.admit(queue_depth=0)
+        assert ticket.ttft_s is None
+        assert ticket.tpot_s is None
+        clock.advance(0.5)
+        lifecycle.note_token(ticket)  # first token fixes TTFT
+        clock.advance(0.1)
+        lifecycle.note_token(ticket)
+        clock.advance(0.1)
+        lifecycle.note_token(ticket)
+        lifecycle.close(ticket, "length")
+        assert ticket.ttft_s == pytest.approx(0.5)
+        assert ticket.tokens == 3
+        # 2 inter-token gaps over 0.2s.
+        assert ticket.tpot_s == pytest.approx(0.1)
+        assert ticket.finish_reason == "length"
+
+    def test_close_is_idempotent(self):
+        clock = FakeClock()
+        lifecycle = RequestLifecycle(max_queue_depth=4, clock=clock)
+        ticket = lifecycle.admit(queue_depth=0)
+        clock.advance(1.0)
+        lifecycle.close(ticket, "length")
+        first_mean = lifecycle.mean_service_s
+        lifecycle.close(ticket, "disconnect")  # race: already closed
+        assert lifecycle.mean_service_s == first_mean
+        assert ticket.finish_reason == "length"
+
+    def test_ewma_blends(self):
+        clock = FakeClock()
+        lifecycle = RequestLifecycle(max_queue_depth=4, clock=clock,
+                                     ewma_alpha=0.5)
+        for duration in (2.0, 4.0):
+            ticket = lifecycle.admit(queue_depth=0)
+            clock.advance(duration)
+            lifecycle.close(ticket, "length")
+        assert lifecycle.mean_service_s == pytest.approx(3.0)

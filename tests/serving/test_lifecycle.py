@@ -1,0 +1,216 @@
+"""Request lifecycle in the engine: priorities, deadlines, queued cancel.
+
+The serving gateway delegates its scheduling policy to the engine — this
+file pins down that policy deterministically (the deadline tests inject a
+fake clock instead of sleeping).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.hardware.memory import kv_block_bytes
+from repro.llm import TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.serving import ServingEngine, SessionState
+
+PAGE = 16
+
+
+def make_arch():
+    return tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                     num_heads=4, vocab_size=97, max_seq_len=192)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return make_arch()
+
+
+@pytest.fixture(scope="module")
+def shared_weights(arch):
+    return generate_random_weights(arch, seed=3)
+
+
+def build_model(arch, weights):
+    return TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+
+
+def page_budget(arch, pages):
+    return pages * kv_block_bytes(arch.num_layers, arch.num_kv_heads,
+                                  arch.head_dim, PAGE)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPriorityAdmission:
+    def test_higher_priority_admitted_first(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=1)
+        running = engine.submit([1, 2], max_new_tokens=2)
+        engine.step()  # occupy the single slot
+        low = engine.submit([3, 4], max_new_tokens=2, priority=0)
+        high = engine.submit([5, 6], max_new_tokens=2, priority=5)
+        while not engine.sessions[running].finished:
+            engine.step()
+        engine.step()  # the freed slot goes to the high-priority request
+        assert engine.sessions[high].state is not SessionState.WAITING
+        assert engine.sessions[low].state is SessionState.WAITING
+        results = engine.run()
+        assert set(results) == {running, low, high}
+
+    def test_equal_priority_stays_fifo(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=1)
+        running = engine.submit([1, 2], max_new_tokens=2)
+        engine.step()
+        first = engine.submit([3, 4], max_new_tokens=2)
+        second = engine.submit([5, 6], max_new_tokens=2)
+        while not engine.sessions[running].finished:
+            engine.step()
+        engine.step()
+        assert engine.sessions[first].state is not SessionState.WAITING
+        assert engine.sessions[second].state is SessionState.WAITING
+        engine.run()
+
+    def test_preempted_session_keeps_arrival_rank(self, arch,
+                                                  shared_weights):
+        """A recompute victim is not pushed behind same-priority arrivals."""
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=3,
+                               kv_cache_bytes=page_budget(arch, 4),
+                               prefix_caching=False)
+        ids = [engine.submit([1 + i] * 12, max_new_tokens=10)
+               for i in range(3)]
+        results = engine.run(max_steps=500)
+        assert engine.preemptions > 0
+        for sid in ids:
+            assert len(results[sid].generated_tokens) == 10
+
+
+class TestDeadlines:
+    def test_queued_request_expires(self, arch, shared_weights):
+        clock = FakeClock()
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=1, clock=clock)
+        running = engine.submit([1, 2], max_new_tokens=8)
+        engine.step()
+        queued = engine.submit([3, 4], max_new_tokens=8,
+                               deadline=clock.now + 5.0)
+        clock.advance(10.0)
+        engine.step()
+        assert engine.sessions[queued].finished
+        assert engine.sessions[queued].finish_reason == "deadline"
+        assert engine.deadline_expirations == 1
+        results = engine.run()
+        assert results[queued].finish_reason == "deadline"
+        assert results[queued].generated_tokens == []
+        assert len(results[running].generated_tokens) == 8
+
+    def test_running_request_expires_and_frees_pages(self, arch,
+                                                     shared_weights):
+        clock = FakeClock()
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 32),
+                               clock=clock)
+        baseline = engine.pool.free_blocks
+        sid = engine.submit([1, 2, 3], max_new_tokens=50,
+                            deadline=clock.now + 5.0)
+        for _ in range(3):
+            engine.step()
+        assert engine.pool.free_blocks < baseline
+        produced = len(engine.sessions[sid].generated_tokens)
+        assert produced >= 3
+        clock.advance(10.0)
+        engine.step()
+        session = engine.sessions[sid]
+        assert session.finished and session.finish_reason == "deadline"
+        assert engine.pool.free_blocks == baseline
+        result = engine.results()[sid]
+        assert len(result.generated_tokens) == produced  # partials kept
+
+    def test_no_deadline_never_expires(self, arch, shared_weights):
+        clock = FakeClock()
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               clock=clock)
+        sid = engine.submit([1, 2], max_new_tokens=4)
+        clock.advance(1e9)
+        results = engine.run()
+        assert results[sid].finish_reason == "length"
+        assert engine.deadline_expirations == 0
+
+    def test_stats_expose_lifecycle_counters(self, arch, shared_weights):
+        clock = FakeClock()
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=1, clock=clock)
+        engine.submit([1, 2], max_new_tokens=2)
+        engine.submit([3, 4], max_new_tokens=2, deadline=clock.now - 1.0)
+        extra = engine.submit([5, 6], max_new_tokens=2)
+        engine.step()
+        stats = engine.serving_stats()
+        assert stats["deadline_expirations"] == 1
+        assert stats["queue_depth"] == 1  # `extra` still waiting
+        assert extra in engine.sessions
+
+
+class TestCancelQueued:
+    """cancel() of a still-QUEUED session — the gateway's
+    disconnect-before-admission path."""
+
+    def test_cancel_queued_session_no_leak_result_once(self, arch,
+                                                       shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=1,
+                               kv_cache_bytes=page_budget(arch, 32))
+        baseline = engine.pool.free_blocks
+        running = engine.submit([1, 2], max_new_tokens=6)
+        engine.step()
+        occupied = engine.pool.free_blocks
+        queued = engine.submit([3, 4, 5], max_new_tokens=6)
+        engine.step()  # batch is full: the session stays QUEUED
+        session = engine.sessions[queued]
+        assert session.state is SessionState.WAITING
+        assert session.page_cache is None  # never prefilled, no pages
+
+        result = engine.cancel(queued)
+        # Result retrievable exactly once, with the right reason.
+        assert result.finish_reason == "cancelled"
+        assert result.generated_tokens == []
+        assert queued not in engine.sessions
+        with pytest.raises(KeyError):
+            engine.cancel(queued)
+        with pytest.raises(KeyError):
+            engine.release(queued)
+        # No page leak: the cancel changed nothing about the pool.
+        assert engine.pool.free_blocks == occupied
+        # The engine keeps serving; all pages return at drain.
+        results = engine.run()
+        assert queued not in results
+        assert len(results[running].generated_tokens) == 6
+        assert engine.pool.free_blocks == baseline
+
+    def test_cancel_active_returns_partial_tokens(self, arch,
+                                                  shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 32))
+        baseline = engine.pool.free_blocks
+        sid = engine.submit([1, 2, 3], max_new_tokens=50)
+        for _ in range(4):
+            engine.step()
+        result = engine.cancel(sid)
+        assert result.finish_reason == "cancelled"
+        assert len(result.generated_tokens) >= 3
+        assert engine.pool.free_blocks == baseline

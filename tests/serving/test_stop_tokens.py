@@ -1,0 +1,121 @@
+"""Multi-stop-token support: validation, alias, batched == sequential."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.llm import Generator, TransformerModel, tiny_arch
+from repro.llm.model import generate_random_weights
+from repro.serving import SamplingParams, ServingEngine
+
+
+def make_arch():
+    return tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                     num_heads=4, vocab_size=97, max_seq_len=64)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return make_arch()
+
+
+@pytest.fixture(scope="module")
+def shared_weights(arch):
+    return generate_random_weights(arch, seed=3)
+
+
+def build_model(arch, weights):
+    return TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+
+
+class TestSamplingParamsStopTokens:
+    def test_stop_set_unions_alias_and_list(self):
+        params = SamplingParams(stop_token=5, stop_tokens=(7, 9))
+        assert params.stop_token_ids == frozenset({5, 7, 9})
+
+    def test_defaults_are_empty(self):
+        assert SamplingParams().stop_token_ids == frozenset()
+
+    def test_single_int_is_accepted(self):
+        assert SamplingParams(stop_tokens=4).stop_token_ids == \
+            frozenset({4})
+
+    def test_negative_stop_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingParams(stop_tokens=(3, -1))
+        with pytest.raises(ValueError):
+            SamplingParams(stop_token=-2)
+
+    def test_coerced_to_tuple(self):
+        params = SamplingParams(stop_tokens=[1, 2])
+        assert params.stop_tokens == (1, 2)
+
+
+class TestStopTokensEndToEnd:
+    def _first_tokens(self, arch, weights, prompt, n):
+        generator = Generator(build_model(arch, weights))
+        return generator.generate(prompt, max_new_tokens=n).generated_tokens
+
+    def test_batched_equals_sequential_with_stop_list(self, arch,
+                                                      shared_weights):
+        """Pick real mid-generation tokens as stops; both paths must cut
+        the generation at the same point."""
+        prompts = [[1 + i, 5, 9 + 2 * i] for i in range(4)]
+        stops = {}
+        for prompt in map(tuple, prompts):
+            tokens = self._first_tokens(arch, shared_weights, list(prompt),
+                                        8)
+            # Stop on the 3rd generated token (plus a never-produced id).
+            stops[prompt] = (tokens[2], 96)
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=4)
+        ids = {tuple(p): engine.submit(p, max_new_tokens=8,
+                                       stop_tokens=stops[tuple(p)])
+               for p in prompts}
+        results = engine.run()
+        generator = Generator(build_model(arch, shared_weights))
+        for prompt in map(tuple, prompts):
+            expected = generator.generate(list(prompt), max_new_tokens=8,
+                                          stop_tokens=stops[prompt])
+            got = results[ids[prompt]]
+            assert got.generated_tokens == expected.generated_tokens
+            assert got.finish_reason == expected.finish_reason == "stop"
+            # Cut at the stop token (which may recur before index 2).
+            assert len(got.generated_tokens) <= 3
+            assert got.generated_tokens[-1] in stops[prompt]
+
+    def test_alias_still_works_at_submit(self, arch, shared_weights):
+        prompt = [2, 7, 4]
+        tokens = self._first_tokens(arch, shared_weights, prompt, 8)
+        engine = ServingEngine(build_model(arch, shared_weights))
+        sid = engine.submit(prompt, max_new_tokens=8,
+                            stop_token=tokens[1])
+        results = engine.run()
+        expected = Generator(build_model(arch, shared_weights)).generate(
+            prompt, max_new_tokens=8, stop_token=tokens[1])
+        assert results[sid].generated_tokens == expected.generated_tokens
+        assert results[sid].finish_reason == "stop"
+        assert results[sid].generated_tokens[-1] == tokens[1]
+
+    def test_generator_stop_tokens_param(self, arch, shared_weights):
+        prompt = [3, 1, 4]
+        tokens = self._first_tokens(arch, shared_weights, prompt, 8)
+        generator = Generator(build_model(arch, shared_weights))
+        result = generator.generate(prompt, max_new_tokens=8,
+                                    stop_tokens=[tokens[1], 96])
+        assert result.generated_tokens == tokens[:2]
+        assert result.finish_reason == "stop"
+
+    def test_generator_rejects_negative_stop_tokens(self, arch,
+                                                    shared_weights):
+        generator = Generator(build_model(arch, shared_weights))
+        with pytest.raises(ValueError):
+            generator.generate([1, 2], max_new_tokens=2, stop_tokens=[-3])
+
+    def test_submit_rejects_negative_stop_tokens(self, arch,
+                                                 shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights))
+        with pytest.raises(ValueError):
+            engine.submit([1, 2], stop_tokens=(4, -1))
+        assert not engine.sessions

@@ -1,0 +1,233 @@
+"""Per-token stream hooks: exactly-once, in-order, identical to batch.
+
+The serving gateway's streaming contract rests on the engine publishing
+every newly sampled token the step it is produced — exactly once and in
+order, across continuous batching, chunked prefill, preemption/recompute
+and temperature sampling — plus exactly one terminal event per session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.hardware.memory import kv_block_bytes
+from repro.llm import Generator, TransformerModel, tiny_arch
+from repro.llm.inference import StreamAssembler
+from repro.llm.model import generate_random_weights
+from repro.serving import ServingEngine
+
+PAGE = 16
+
+
+def make_arch():
+    return tiny_arch(hidden_size=64, intermediate_size=128, num_layers=2,
+                     num_heads=4, vocab_size=97, max_seq_len=192)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return make_arch()
+
+
+@pytest.fixture(scope="module")
+def shared_weights(arch):
+    return generate_random_weights(arch, seed=3)
+
+
+def build_model(arch, weights):
+    return TransformerModel(
+        arch, engine=get_backend("tmac", bits=4, group_size=32),
+        weights=weights)
+
+
+def page_budget(arch, pages):
+    return pages * kv_block_bytes(arch.num_layers, arch.num_kv_heads,
+                                  arch.head_dim, PAGE)
+
+
+def sequential_tokens(arch, weights, prompt, **kwargs):
+    generator = Generator(build_model(arch, weights),
+                          seed=kwargs.pop("seed", 0))
+    return generator.generate(prompt, **kwargs).generated_tokens
+
+
+class Recorder:
+    """Hook capturing events plus integrity bookkeeping."""
+
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event):
+        self.events.append(event)
+
+    @property
+    def tokens(self):
+        return [e.token for e in self.events if not e.finished]
+
+    @property
+    def terminal(self):
+        finals = [e for e in self.events if e.finished]
+        assert len(finals) <= 1, "terminal event published more than once"
+        return finals[0] if finals else None
+
+    def assert_stream_contract(self):
+        indices = [e.index for e in self.events if not e.finished]
+        assert indices == list(range(len(indices))), \
+            "token indices must be contiguous from 0"
+        assert self.terminal is not None, "stream never closed"
+        assert self.terminal.index == len(indices)
+        assert self.events[-1].finished, "tokens after the terminal event"
+
+
+class TestStreamHooks:
+    def test_tokens_published_per_step_and_match_result(self, arch,
+                                                        shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=4)
+        recorders = {_: Recorder() for _ in range(4)}
+        ids = {}
+        for i, rec in recorders.items():
+            ids[i] = engine.submit([1 + i, 5, 9 + 2 * i], max_new_tokens=6,
+                                   stream_hook=rec)
+        # The first engine step (prefill sample + one decode) publishes
+        # tokens long before the sessions finish — streaming, not
+        # buffer-at-finish.
+        engine.step()
+        assert all(1 <= len(rec.tokens) < 6 for rec in recorders.values())
+        assert not any(rec.terminal for rec in recorders.values())
+        results = engine.run()
+        for i, rec in recorders.items():
+            rec.assert_stream_contract()
+            assert rec.tokens == results[ids[i]].generated_tokens
+            assert rec.terminal.finish_reason == "length"
+            assert rec.tokens == sequential_tokens(
+                arch, shared_weights, [1 + i, 5, 9 + 2 * i],
+                max_new_tokens=6)
+
+    def test_stream_assembler_round_trip(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights))
+        assembler = StreamAssembler([3, 1, 4])
+
+        def hook(event):
+            if event.finished:
+                assembler.finish(event.finish_reason)
+            else:
+                assembler.feed_token(event.index, event.token)
+
+        sid = engine.submit([3, 1, 4], max_new_tokens=5, stream_hook=hook)
+        results = engine.run()
+        result = assembler.result()
+        assert result.generated_tokens == results[sid].generated_tokens
+        assert result.finish_reason == "length"
+
+    def test_chunked_prefill_streams_after_last_chunk(self, arch,
+                                                      shared_weights):
+        prompt = list(np.random.default_rng(5).integers(
+            1, arch.vocab_size, size=70))
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=2,
+                               kv_cache_bytes=page_budget(arch, 32),
+                               prefill_chunk=16)
+        rec = Recorder()
+        sid = engine.submit(prompt, max_new_tokens=6, stream_hook=rec)
+        # 70-token prompt at chunk 16: the first 4 steps are prefill-only.
+        for _ in range(4):
+            engine.step()
+            assert rec.tokens == []
+        results = engine.run()
+        rec.assert_stream_contract()
+        assert rec.tokens == results[sid].generated_tokens
+        assert rec.tokens == sequential_tokens(
+            arch, shared_weights, prompt, max_new_tokens=6)
+
+    def test_preemption_does_not_duplicate_tokens(self, arch,
+                                                  shared_weights):
+        """Recompute after preemption must not re-publish old tokens."""
+        prompts = [[1 + i] * 12 for i in range(3)]
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=3,
+                               kv_cache_bytes=page_budget(arch, 4),
+                               prefix_caching=False)
+        recorders = [Recorder() for _ in prompts]
+        ids = [engine.submit(p, max_new_tokens=10, stream_hook=r)
+               for p, r in zip(prompts, recorders)]
+        results = engine.run()
+        assert engine.preemptions > 0, "pool was sized to force preemption"
+        for prompt, sid, rec in zip(prompts, ids, recorders):
+            rec.assert_stream_contract()
+            assert rec.tokens == results[sid].generated_tokens
+            assert rec.tokens == sequential_tokens(
+                arch, shared_weights, prompt, max_new_tokens=10)
+
+    def test_temperature_stream_matches_sequential(self, arch,
+                                                   shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=2)
+        rec = Recorder()
+        engine.submit([4, 9, 2], max_new_tokens=6, temperature=0.8,
+                      seed=123, stream_hook=rec)
+        engine.submit([7, 7], max_new_tokens=6, temperature=0.8, seed=99)
+        engine.run()
+        rec.assert_stream_contract()
+        assert rec.tokens == sequential_tokens(
+            arch, shared_weights, [4, 9, 2], max_new_tokens=6,
+            temperature=0.8, seed=123)
+
+    def test_hook_exception_does_not_break_the_batch(self, arch,
+                                                     shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=2)
+
+        def broken(event):
+            raise RuntimeError("consumer crashed")
+
+        rec = Recorder()
+        bad = engine.submit([1, 2], max_new_tokens=4, stream_hook=broken)
+        good = engine.submit([3, 4], max_new_tokens=4, stream_hook=rec)
+        results = engine.run()
+        assert engine.stream_hook_errors > 0
+        assert len(results[bad].generated_tokens) == 4  # still completed
+        rec.assert_stream_contract()
+        assert rec.tokens == results[good].generated_tokens
+
+    def test_cancel_publishes_terminal_event(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=2)
+        rec = Recorder()
+        sid = engine.submit([1, 2], max_new_tokens=50, stream_hook=rec)
+        engine.step()
+        assert len(rec.tokens) >= 1
+        result = engine.cancel(sid)
+        rec.assert_stream_contract()
+        assert rec.terminal.finish_reason == "cancelled"
+        assert rec.tokens == result.generated_tokens
+
+
+class TestEngineTiming:
+    def test_ttft_and_decode_wall_recorded(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights),
+                               max_batch_size=4)
+        for i in range(3):
+            engine.submit([1 + i, 2], max_new_tokens=4)
+        engine.run()
+        stats = engine.serving_stats()
+        assert stats["ttft_count"] == 3
+        assert stats["ttft_mean_s"] > 0.0
+        assert stats["decode_step_wall_mean_s"] > 0.0
+        assert stats["queue_depth"] == 0
+        samples = engine.drain_timing_samples()
+        assert len(samples["ttft_s"]) == 3
+        assert len(samples["decode_step_s"]) == stats["decode_steps"]
+        drained_again = engine.drain_timing_samples()
+        assert drained_again["ttft_s"] == []
+        assert drained_again["decode_step_s"] == []
+        # The running means survive the drain.
+        assert engine.serving_stats()["ttft_mean_s"] == stats["ttft_mean_s"]
+
+    def test_session_ttft_set_at_first_token(self, arch, shared_weights):
+        engine = ServingEngine(build_model(arch, shared_weights))
+        sid = engine.submit([1, 2, 3], max_new_tokens=4)
+        assert engine.sessions[sid].ttft is None
+        engine.step()  # prefill + first sample
+        assert engine.sessions[sid].ttft is not None
+        assert engine.sessions[sid].ttft >= 0.0
