@@ -1,20 +1,34 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark module regenerates one table or figure of the paper's
-evaluation section.  Results are written as plain-text tables to
-``benchmarks/results/`` (so they survive pytest's output capturing) and the
-``benchmark`` fixture wraps a representative piece of the computation so the
-suite integrates with ``pytest-benchmark`` (``--benchmark-only``).
+evaluation section.  Results are written twice:
+
+* plain-text tables to ``benchmarks/results/<name>.txt`` (human-readable,
+  survive pytest's output capturing), and
+* machine-readable ``benchmarks/results/BENCH_<name>.json`` documents
+  (bench name, series, params, metrics, host info, git sha) so the
+  performance trajectory is trackable across PRs — CI uploads them as a
+  workflow artifact.
+
+The ``benchmark`` fixture wraps a representative piece of the computation
+so the suite integrates with ``pytest-benchmark`` (``--benchmark-only``).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+import platform
+import subprocess
+from typing import Iterable, List, Optional, Sequence
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the BENCH_*.json document layout; bump on breaking changes so
+#: trajectory tooling can dispatch on it.
+BENCH_SCHEMA_VERSION = 1
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -42,6 +56,78 @@ def write_result(name: str, title: str, content: str) -> str:
     return path
 
 
+def usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def host_info() -> dict:
+    """Hardware/software facts that contextualize a measured number."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cores": usable_cores(),
+    }
+
+
+def git_sha() -> str:
+    """The commit the numbers were produced at (``unknown`` outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        pass
+    return "unknown"
+
+
+def write_bench_json(name: str, series, params: Optional[dict] = None,
+                     metrics: Optional[dict] = None) -> str:
+    """Write ``benchmarks/results/BENCH_<name>.json``.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name; also the file stem.
+    series:
+        The measured/modeled data, as a list of series dicts (each with a
+        ``name`` and a list of ``points``) or any JSON-serializable shape
+        the benchmark finds natural.
+    params:
+        The knobs the run was executed with (shapes, counts, env).
+    metrics:
+        Headline scalar metrics (speedups, tok/s, hit rates) for quick
+        cross-PR comparison without parsing the series.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "bench": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "host": host_info(),
+        "params": params or {},
+        "series": series,
+        "metrics": metrics or {},
+    }
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def record_table():
     """Fixture returning a helper that formats and persists a result table.
@@ -57,3 +143,9 @@ def record_table():
         return path
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Fixture returning the machine-readable BENCH_*.json writer."""
+    return write_bench_json

@@ -81,7 +81,7 @@ async def _run_rate(host, port, rate_rps, rng):
 
 
 @pytest.mark.benchmark(group="gateway-latency")
-def test_gateway_open_loop_latency(record_table, benchmark):
+def test_gateway_open_loop_latency(record_table, record_bench, benchmark):
     arch, model = build_model()
     budget = 64 * kv_block_bytes(arch.num_layers, arch.num_kv_heads,
                                  arch.head_dim, PAGE)
@@ -138,6 +138,22 @@ def test_gateway_open_loop_latency(record_table, benchmark):
         ["rate_rps", "completed", "ttft_p50_ms", "ttft_p95_ms",
          "tpot_p50_ms", "tpot_p95_ms", "goodput_tok_s"],
         rows,
+    )
+    record_bench(
+        "gateway_latency",
+        [dict(rate_rps=rate, **summary[rate])
+         for rate in ARRIVAL_RATES_RPS],
+        params={"requests_per_rate": REQUESTS_PER_RATE,
+                "max_new_tokens": MAX_NEW_TOKENS,
+                "arrival_rates_rps": list(ARRIVAL_RATES_RPS),
+                "page_size": PAGE},
+        metrics={
+            "peak_goodput_tok_s": max(
+                summary[rate]["goodput_tok_s"]
+                for rate in ARRIVAL_RATES_RPS),
+            "ttft_p95_ms_at_peak_rate":
+                summary[ARRIVAL_RATES_RPS[-1]]["ttft_p95_ms"],
+        },
     )
 
     # Sanity: every request completed fully at every rate, and latency

@@ -57,7 +57,8 @@ def _run(engine, prompts):
     return ids, results, tokens, seconds
 
 
-def test_paged_prefix_sharing_lowers_peak_kv(setup, record_table):
+def test_paged_prefix_sharing_lowers_peak_kv(setup, record_table,
+                                             record_bench):
     arch, weights, prompts = setup
 
     unpaged = ServingEngine(_build_model(arch, weights),
@@ -94,6 +95,28 @@ def test_paged_prefix_sharing_lowers_peak_kv(setup, record_table):
              f"{p_stats['prefix_hit_rate']:.0%}",
              p_stats["peak_shared_blocks"], p_stats["preemptions"]],
         ],
+    )
+
+    record_bench(
+        "kvcache_memory",
+        [
+            {"series": "unpaged", "peak_kv_bytes": u_stats["peak_kv_bytes"],
+             "tokens": u_tokens, "seconds": u_seconds,
+             "tokens_per_s": u_tokens / u_seconds},
+            {"series": "paged", "peak_kv_bytes": p_stats["kv_peak_bytes"],
+             "tokens": p_tokens, "seconds": p_seconds,
+             "tokens_per_s": p_tokens / p_seconds,
+             "prefix_hit_rate": p_stats["prefix_hit_rate"],
+             "peak_shared_blocks": p_stats["peak_shared_blocks"],
+             "preemptions": p_stats["preemptions"]},
+        ],
+        params={"num_sessions": NUM_SESSIONS, "prefix_tokens": PREFIX_TOKENS,
+                "max_new_tokens": MAX_NEW_TOKENS, "page_size": PAGE},
+        metrics={
+            "kv_bytes_saved_ratio":
+                1.0 - p_stats["kv_peak_bytes"] / u_stats["peak_kv_bytes"],
+            "prefix_hit_rate": p_stats["prefix_hit_rate"],
+        },
     )
 
     # The flagship claim: the shared prefix is stored once, so the paged

@@ -20,6 +20,10 @@ import time
 import pytest
 
 from repro.backends import get_backend
+from repro.core.executor import (
+    reset_parallel_executor_stats,
+    reset_process_executor_stats,
+)
 from repro.core.plan import clear_plan_cache, plan_cache_stats
 from repro.llm import Generator, TransformerModel, tiny_arch
 from repro.llm.model import generate_random_weights
@@ -32,6 +36,11 @@ MAX_NEW_TOKENS = 12
 @pytest.fixture(scope="module")
 def setup():
     clear_plan_cache()
+    # The executor counters are process-wide; earlier benchmark modules
+    # (e.g. thread_scaling) would otherwise bleed into the stats this
+    # module records through serving_stats().
+    reset_parallel_executor_stats()
+    reset_process_executor_stats()
     arch = tiny_arch(hidden_size=96, intermediate_size=192, num_layers=2,
                      num_heads=4, vocab_size=211, max_seq_len=96)
     weights = generate_random_weights(arch, seed=7)
@@ -46,7 +55,7 @@ def _build_model(arch, weights):
         weights=weights)
 
 
-def test_batched_serving_throughput(setup, record_table):
+def test_batched_serving_throughput(setup, record_table, record_bench):
     arch, weights, prompts = setup
     reps = 2  # best-of-N so a scheduler hiccup cannot invert the comparison
 
@@ -103,6 +112,21 @@ def test_batched_serving_throughput(setup, record_table):
              f"{bat_tps:.1f}", f"{stats['mean_batch_size']:.1f}",
              f"{hit_rate:.0%}", stats["lut_reuses"]],
         ],
+    )
+    record_bench(
+        "serving_throughput",
+        [
+            {"series": "sequential", "tokens": sequential_tokens,
+             "seconds": sequential_seconds, "tokens_per_s": seq_tps},
+            {"series": "batched", "tokens": batched_tokens,
+             "seconds": batched_seconds, "tokens_per_s": bat_tps,
+             "mean_batch_size": stats["mean_batch_size"],
+             "lut_reuses": stats["lut_reuses"]},
+        ],
+        params={"num_sessions": NUM_SESSIONS,
+                "max_new_tokens": MAX_NEW_TOKENS},
+        metrics={"batched_over_sequential": bat_tps / seq_tps,
+                 "plan_cache_hit_rate": hit_rate},
     )
     # Throughput: batching amortizes per-layer overhead; require a real win
     # (leave slack for machine noise rather than asserting the full ratio).

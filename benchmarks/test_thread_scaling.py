@@ -1,26 +1,34 @@
-"""Thread scaling of the parallel executor: serving tok/s and mpGEMM GB/s.
+"""Thread/process scaling of the parallel executors: tok/s and mpGEMM GB/s.
 
 The paper's headline claim is LUT-based mpGEMM throughput that scales
 near-linearly with CPU threads (Figures 6b/8b).  This benchmark exercises
-the reproduction's :class:`~repro.core.executor.ParallelExecutor` at 1/2/4
-worker threads and records, into ``benchmarks/results/thread_scaling.txt``:
+the reproduction's :class:`~repro.core.executor.ParallelExecutor` (GIL-bound
+threads) and :class:`~repro.core.executor.ProcessExecutor` (shared-memory
+worker processes) at 1/2/4 workers and records, into
+``benchmarks/results/thread_scaling.txt`` and ``BENCH_thread_scaling.json``:
 
 * measured end-to-end serving throughput (tok/s) on the benchmark model,
 * measured mpGEMM weight-traversal bandwidth (GB/s) on the Llama-2-7B
-  attention shape (S0, 4096x4096, 4-bit),
+  attention shape (S0, 4096x4096, 4-bit) for both the thread pool and the
+  process pool,
 * the roofline cost model's projected scaling on the Table 2 devices
-  (:meth:`repro.hardware.cost_model.CostModel.thread_scaling`).
+  (:meth:`~repro.hardware.cost_model.CostModel.thread_scaling` and
+  :meth:`~repro.hardware.cost_model.CostModel.process_scaling`).
 
-Correctness is asserted unconditionally: the parallel executor must be
+Every *measured* series row is annotated with the host core count — a
+"4 threads" number measured on a 1-core container is not a scaling
+datapoint, and the annotation keeps that visible in the recorded artifact.
+
+Correctness is asserted unconditionally: both pooled executors must be
 *bit-identical* to the serial vectorized executor on every Figure 6/7
-weight shape, and generated tokens must not change with the thread count.
-The cost-model >= 1.5x projection at 4 threads is always asserted; the
-*measured* >= 1.5x assertion additionally requires an explicit opt-in
-(``REPRO_ASSERT_THREAD_SCALING=1``) on a host with >= 4 usable cores —
-wall-clock scaling depends on hardware a shared CI runner cannot promise
-(single-core containers, noisy neighbours, tiny-model GIL overhead), so by
-default the measured numbers are recorded for inspection rather than
-gating the build.
+weight shape, and generated tokens must not change with the worker count.
+The cost-model >= 1.5x thread projection at 4 threads is always asserted;
+the *measured* >= 1.5x assertions (threads and processes) additionally
+require an explicit opt-in (``REPRO_ASSERT_THREAD_SCALING=1``) on a host
+with >= 4 usable cores — wall-clock scaling depends on hardware a shared CI
+runner cannot promise.  On a single-core host the process-pool measurement
+is skipped with an explicit note row rather than recorded as a meaningless
+slowdown.
 """
 
 from __future__ import annotations
@@ -32,7 +40,13 @@ import numpy as np
 import pytest
 
 from repro.backends import get_backend
+from repro.core import shm
 from repro.core.config import TMACConfig
+from repro.core.executor import (
+    process_executor_stats,
+    reset_parallel_executor_stats,
+    reset_process_executor_stats,
+)
 from repro.core.kernel import TMACKernel
 from repro.core.plan import clear_plan_cache
 from repro.hardware import CostModel, EVALUATION_DEVICES
@@ -61,8 +75,19 @@ def assert_measured_scaling() -> bool:
         available_cores() >= 4
 
 
+def measured_label(base: str) -> str:
+    """Tag a measured series with the cores it actually ran on."""
+    return f"{base} (measured, {available_cores()} cores)"
+
+
 def parallel_config(threads: int, threshold: int = 0) -> TMACConfig:
     return TMACConfig(bits=4, executor="parallel", num_threads=threads,
+                      parallel_threshold=threshold)
+
+
+def process_config(workers: int, threshold: int = 0) -> TMACConfig:
+    # Explicit num_workers pins the process pool (no cost-model delegation).
+    return TMACConfig(bits=4, executor="process", num_workers=workers,
                       parallel_threshold=threshold)
 
 
@@ -73,69 +98,110 @@ def test_parallel_parity_on_fig6_fig7_shapes(record_table):
     additionally checked at N=8 as a CI-sized stand-in for the Figure 7
     mpGEMM regime (the kernel is row-independent, so the row count does
     not interact with the sharding math — asserted at N=2..3 across every
-    table mode in the unit tests).
+    table mode in the unit tests).  Both pooled executors — threads and
+    shared-memory processes — are held to the same standard.
     """
+    check_process = shm.shm_available()
     rows = []
     for shape in KERNEL_SHAPES:
         qw = quantize_weights(gaussian_weights(shape.m, shape.k, seed=1),
                               bits=4, group_size=128)
         # executor pinned: the baseline must stay serial even when
-        # REPRO_EXECUTOR=parallel flips the process default (CI leg 2).
+        # REPRO_EXECUTOR flips the process default (CI legs 2/3).
         serial_kernel = TMACKernel(qw, TMACConfig(bits=4,
                                                   executor="vectorized"))
         parallel_kernel = TMACKernel.from_plan(serial_kernel.plan,
                                                parallel_config(4))
+        process_kernel = (TMACKernel.from_plan(serial_kernel.plan,
+                                               process_config(4))
+                          if check_process else None)
         n_values = (1, 8) if shape.label == "S0" else (1,)
         for n in n_values:
             a = gaussian_activation(n, shape.k, seed=2)
             serial = serial_kernel.matmul(a)
-            parallel = parallel_kernel.matmul(a)
-            np.testing.assert_array_equal(serial, parallel)
+            np.testing.assert_array_equal(serial, parallel_kernel.matmul(a))
+            if process_kernel is not None:
+                np.testing.assert_array_equal(serial,
+                                              process_kernel.matmul(a))
             rows.append([shape.label, f"{shape.m}x{shape.k}x{n}",
-                         "bit-identical"])
+                         "bit-identical",
+                         "bit-identical" if check_process else "skipped"])
     record_table("thread_scaling_parity",
-                 "Parallel executor vs serial vectorized — fig6/fig7 shapes",
-                 ["shape", "MxKxN", "parallel vs serial"], rows)
+                 "Pooled executors vs serial vectorized — fig6/fig7 shapes",
+                 ["shape", "MxKxN", "threads vs serial",
+                  "processes vs serial"], rows)
 
 
 @pytest.fixture(scope="module")
 def scaling_rows():
-    """Accumulates the measured + modeled rows across the tests below."""
+    """Accumulates the formatted measured + modeled rows for the table."""
     return []
 
 
-def test_mpgemm_bandwidth_thread_scaling(scaling_rows, benchmark):
-    """Measured mpGEMM GB/s at 1/2/4 threads on S0 (4096x4096, 4-bit)."""
+@pytest.fixture(scope="module")
+def scaling_points():
+    """Accumulates structured (numeric) datapoints for BENCH_*.json."""
+    return []
+
+
+@pytest.fixture(scope="module")
+def s0_plan():
     shape = KERNEL_SHAPES[0]
     qw = quantize_weights(gaussian_weights(shape.m, shape.k, seed=3),
                           bits=4, group_size=128)
     plan = TMACKernel(qw, TMACConfig(bits=4, executor="vectorized")).plan
-    a = gaussian_activation(1, shape.k, seed=4)
-    weight_bytes = qw.memory_bytes()
+    return plan, qw.memory_bytes()
 
+
+def _measure_kernel_series(plan, weight_bytes, make_config, counts):
+    """Best-of-3 S0 mpGEMV latency per worker count; asserts parity."""
+    shape = KERNEL_SHAPES[0]
+    a = gaussian_activation(1, shape.k, seed=4)
     seconds = {}
     outputs = {}
-    for threads in THREAD_COUNTS:
-        kernel = TMACKernel.from_plan(plan, parallel_config(threads))
+    for workers in counts:
+        kernel = TMACKernel.from_plan(plan, make_config(workers))
         kernel.matmul(a)  # warm the gather metadata / worker pool
         best = float("inf")
         for _ in range(3):
             start = time.perf_counter()
-            outputs[threads] = kernel.matmul(a)
+            outputs[workers] = kernel.matmul(a)
             best = min(best, time.perf_counter() - start)
-        seconds[threads] = best
+        seconds[workers] = best
+    for workers in counts[1:]:
+        np.testing.assert_array_equal(outputs[counts[0]], outputs[workers])
+    return seconds
 
-    for threads in THREAD_COUNTS[1:]:
-        np.testing.assert_array_equal(outputs[1], outputs[threads])
 
-    for threads in THREAD_COUNTS:
-        speedup = seconds[1] / seconds[threads]
+def _append_measured(scaling_rows, scaling_points, series, seconds,
+                     weight_bytes):
+    for workers, secs in seconds.items():
+        speedup = seconds[min(seconds)] / secs
+        gbps = weight_bytes / secs / 1e9
         scaling_rows.append([
-            "mpGEMM S0 (measured)", threads,
-            f"{seconds[threads] * 1e3:.1f} ms",
-            f"{weight_bytes / seconds[threads] / 1e9:.2f} GB/s",
-            f"{speedup:.2f}x",
+            measured_label(series), workers, f"{secs * 1e3:.1f} ms",
+            f"{gbps:.2f} GB/s", f"{speedup:.2f}x",
         ])
+        scaling_points.append({
+            "series": series, "kind": "measured",
+            "host_cores": available_cores(), "workers": workers,
+            "latency_ms": secs * 1e3, "bandwidth_gbps": gbps,
+            "speedup": speedup,
+        })
+
+
+def test_mpgemm_bandwidth_thread_scaling(s0_plan, scaling_rows,
+                                         scaling_points, benchmark):
+    """Measured mpGEMM GB/s at 1/2/4 threads on S0 (4096x4096, 4-bit)."""
+    reset_parallel_executor_stats()
+    plan, weight_bytes = s0_plan
+    shape = KERNEL_SHAPES[0]
+    a = gaussian_activation(1, shape.k, seed=4)
+
+    seconds = _measure_kernel_series(plan, weight_bytes, parallel_config,
+                                     THREAD_COUNTS)
+    _append_measured(scaling_rows, scaling_points, "mpGEMM S0 threads",
+                     seconds, weight_bytes)
 
     if assert_measured_scaling():
         assert seconds[1] / seconds[4] >= 1.5, (
@@ -146,9 +212,61 @@ def test_mpgemm_bandwidth_thread_scaling(scaling_rows, benchmark):
     benchmark(lambda: kernel.matmul(a))
 
 
-def test_serving_throughput_thread_scaling(scaling_rows):
+def test_mpgemm_bandwidth_process_scaling(s0_plan, scaling_rows,
+                                          scaling_points):
+    """Measured mpGEMM GB/s at 1/2/4 shared-memory workers on S0.
+
+    The tentpole claim: sharding output tiles across processes sidesteps
+    the GIL, so on a multi-core host the 4-worker run must clear 1.5x
+    (asserted under ``REPRO_ASSERT_THREAD_SCALING=1``).  On a single-core
+    host the measurement is meaningless — IPC overhead with no parallelism
+    — so it is skipped with an explicit note row instead of recorded.
+    """
+    if not shm.shm_available():
+        scaling_rows.append([measured_label("mpGEMM S0 processes"), "-",
+                             "skipped (shared memory unavailable)", "-",
+                             "-"])
+        return
+    reset_process_executor_stats()
+    plan, weight_bytes = s0_plan
+    cores = available_cores()
+    if cores < 2:
+        # Still exercise the pool end-to-end (parity at 2 workers) so the
+        # code path is covered; just don't record wall-clock "scaling".
+        shape = KERNEL_SHAPES[0]
+        a = gaussian_activation(1, shape.k, seed=4)
+        serial = TMACKernel.from_plan(
+            plan, TMACConfig(bits=4, executor="vectorized")).matmul(a)
+        pooled = TMACKernel.from_plan(plan, process_config(2)).matmul(a)
+        np.testing.assert_array_equal(serial, pooled)
+        scaling_rows.append([measured_label("mpGEMM S0 processes"), "-",
+                             "skipped (1 core: no parallel speedup "
+                             "measurable)", "parity checked", "-"])
+        scaling_points.append({
+            "series": "mpGEMM S0 processes", "kind": "measured",
+            "host_cores": cores, "skipped": "1 core",
+        })
+        return
+
+    seconds = _measure_kernel_series(plan, weight_bytes, process_config,
+                                     THREAD_COUNTS)
+    _append_measured(scaling_rows, scaling_points, "mpGEMM S0 processes",
+                     seconds, weight_bytes)
+    stats = process_executor_stats()
+    assert stats["process_dispatches"] > 0, (
+        "process-pool series did not dispatch to worker processes"
+    )
+    if assert_measured_scaling():
+        assert seconds[1] / seconds[4] >= 1.5, (
+            f"4-worker process-pool speedup "
+            f"{seconds[1] / seconds[4]:.2f}x < 1.5x"
+        )
+
+
+def test_serving_throughput_thread_scaling(scaling_rows, scaling_points):
     """Measured serving tok/s at 1/2/4 threads (continuous batching)."""
     clear_plan_cache()
+    reset_parallel_executor_stats()
     arch = tiny_arch(hidden_size=256, intermediate_size=512, num_layers=2,
                      num_heads=4, vocab_size=997, max_seq_len=96)
     weights = generate_random_weights(arch, seed=17)
@@ -180,10 +298,16 @@ def test_serving_throughput_thread_scaling(scaling_rows):
 
     for threads in THREAD_COUNTS:
         scaling_rows.append([
-            "serving decode (measured)", threads, "-",
+            measured_label("serving decode"), threads, "-",
             f"{tok_s[threads]:.1f} tok/s",
             f"{tok_s[threads] / tok_s[1]:.2f}x",
         ])
+        scaling_points.append({
+            "series": "serving decode", "kind": "measured",
+            "host_cores": available_cores(), "workers": threads,
+            "tokens_per_s": tok_s[threads],
+            "speedup": tok_s[threads] / tok_s[1],
+        })
 
     if assert_measured_scaling():
         assert tok_s[4] >= 1.5 * tok_s[1], (
@@ -191,23 +315,54 @@ def test_serving_throughput_thread_scaling(scaling_rows):
         )
 
 
-def test_cost_model_thread_scaling(scaling_rows, record_table):
-    """Projected scaling on the Table 2 devices (always asserted)."""
+def test_cost_model_thread_scaling(scaling_rows, scaling_points,
+                                   record_table, record_bench):
+    """Projected scaling on the Table 2 devices (thread model asserted).
+
+    The thread projection must clear 1.5x at 4 threads on every device.
+    The process projection is recorded but *not* asserted: it charges the
+    IPC/shared-memory overhead term, and on devices where the modeled
+    serial mpGEMV latency is tens of microseconds that overhead rightly
+    swamps the parallel win — which is exactly why the dispatch heuristic
+    (:func:`repro.hardware.cost_model.pool_dispatch_choice`) exists.
+    """
     shape = KERNEL_SHAPES[0]
     config = TMACConfig(bits=4)
     for device in EVALUATION_DEVICES:
         model = CostModel(device)
         counts = [t for t in THREAD_COUNTS if t <= device.cpu.cores]
         latencies = model.thread_scaling(1, shape.m, shape.k, config, counts)
+        process_latencies = model.process_scaling(1, shape.m, shape.k,
+                                                  config, counts)
         base = latencies[1].seconds
         for threads in counts:
             latency = latencies[threads]
             scaling_rows.append([
-                f"mpGEMM S0 model ({device.name})", threads,
+                f"mpGEMM S0 thread model ({device.name})", threads,
                 f"{latency.milliseconds:.3f} ms",
                 latency.bound,
                 f"{base / latency.seconds:.2f}x",
             ])
+            scaling_points.append({
+                "series": f"thread model {device.name}", "kind": "modeled",
+                "workers": threads, "latency_ms": latency.milliseconds,
+                "bound": latency.bound,
+                "speedup": base / latency.seconds,
+            })
+            process_latency = process_latencies[threads]
+            scaling_rows.append([
+                f"mpGEMM S0 process model ({device.name})", threads,
+                f"{process_latency.milliseconds:.3f} ms",
+                process_latency.bound,
+                f"{base / process_latency.seconds:.2f}x",
+            ])
+            scaling_points.append({
+                "series": f"process model {device.name}", "kind": "modeled",
+                "workers": threads,
+                "latency_ms": process_latency.milliseconds,
+                "bound": process_latency.bound,
+                "speedup": base / process_latency.seconds,
+            })
         if 4 in counts:
             assert base / latencies[4].seconds >= 1.5, (
                 f"{device.name}: modeled 4-thread speedup below 1.5x"
@@ -215,8 +370,32 @@ def test_cost_model_thread_scaling(scaling_rows, record_table):
 
     record_table(
         "thread_scaling",
-        "Parallel executor thread scaling — measured and modeled "
+        "Pooled executor scaling — measured and modeled "
         f"(host cores: {available_cores()})",
-        ["series", "threads", "latency", "throughput / bound", "speedup"],
+        ["series", "workers", "latency", "throughput / bound", "speedup"],
         scaling_rows,
     )
+    record_bench(
+        "thread_scaling",
+        scaling_points,
+        params={
+            "worker_counts": list(THREAD_COUNTS),
+            "shape": f"{shape.m}x{shape.k}",
+            "bits": 4,
+            "num_sessions": NUM_SESSIONS,
+            "max_new_tokens": MAX_NEW_TOKENS,
+            "shm_available": shm.shm_available(),
+            "measured_assertions": assert_measured_scaling(),
+        },
+        metrics=_headline_metrics(scaling_points),
+    )
+
+
+def _headline_metrics(points) -> dict:
+    """Best measured/modeled 4-worker speedup per series family."""
+    metrics = {}
+    for point in points:
+        if point.get("workers") == 4 and "speedup" in point:
+            key = f"{point['series']} @4".replace(" ", "_")
+            metrics[key] = round(point["speedup"], 3)
+    return metrics

@@ -60,6 +60,19 @@ def _default_num_threads() -> Optional[int]:
         ) from None
 
 
+def _default_num_workers() -> Optional[int]:
+    """Process-worker default, overridable via ``REPRO_NUM_WORKERS``."""
+    raw = os.environ.get("REPRO_NUM_WORKERS")
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_NUM_WORKERS must be an integer, got {raw!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class TMACConfig:
     """Configuration for the T-MAC LUT-based mpGEMM kernel.
@@ -101,9 +114,11 @@ class TMACConfig:
         Online executor used by :class:`~repro.core.kernel.TMACKernel`:
         ``"vectorized"`` (default — batched numpy across quantization groups
         and bit planes), ``"parallel"`` (the vectorized pipeline sharded
-        over output-column tiles on a persistent worker thread pool) or
-        ``"loop"`` (the reference per-group/per-bit Python loops, kept as
-        the numerical oracle).  All compute bit-identical results; see
+        over output-column tiles on a persistent worker thread pool),
+        ``"process"`` (the same sharding on a persistent worker *process*
+        pool with plans published through shared memory — breaks the GIL)
+        or ``"loop"`` (the reference per-group/per-bit Python loops, kept
+        as the numerical oracle).  All compute bit-identical results; see
         :mod:`repro.core.executor`.  The default can be overridden with the
         ``REPRO_EXECUTOR`` environment variable (the CI matrix uses this to
         run the whole suite under the parallel executor).
@@ -111,9 +126,16 @@ class TMACConfig:
         Worker count for the parallel executor; ``None`` (default) uses
         ``os.cpu_count()``.  Ignored by the serial executors.  Default
         overridable via ``REPRO_NUM_THREADS``.
+    num_workers:
+        Worker-*process* count for the process executor; ``None`` (default)
+        uses ``os.cpu_count()`` and lets the cost model delegate
+        GIL-tolerant shapes to the thread pool, while an explicit count
+        pins the call to the process pool.  Ignored by the other
+        executors.  Default overridable via ``REPRO_NUM_WORKERS``.
     parallel_threshold:
         Minimum gather work (``N * M * K/g`` elements) before the parallel
-        executor shards a call; below it the serial vectorized path runs.
+        or process executor shards a call; below it the serial vectorized
+        path runs.
     """
 
     bits: int = 4
@@ -132,6 +154,7 @@ class TMACConfig:
     tile_config: Optional[TileConfig] = None
     executor: str = field(default_factory=_default_executor)
     num_threads: Optional[int] = field(default_factory=_default_num_threads)
+    num_workers: Optional[int] = field(default_factory=_default_num_workers)
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
     name: str = "T-MAC"
     extra: dict = field(default_factory=dict, compare=False)
@@ -161,6 +184,11 @@ class TMACConfig:
             raise ValueError(
                 f"num_threads must be >= 1 (or None for cpu_count), "
                 f"got {self.num_threads}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1 (or None for cpu_count), "
+                f"got {self.num_workers}"
             )
         if self.parallel_threshold < 0:
             raise ValueError(

@@ -25,11 +25,21 @@ the mpGEMM result.  Two executors implement the same mathematics:
   results are bit-identical at any thread count.  Calls whose gather work
   falls below ``TMACConfig.parallel_threshold`` fall back to the serial
   path, so tiny decode-regime kernels never pay fork/join overhead.
+* :class:`ProcessExecutor` — the GIL-free implementation: the same
+  tile-aligned output shards, executed by a persistent pool of worker
+  *processes* (:mod:`repro.core.shm`).  Plan artifacts are published once
+  into shared-memory segments keyed by the plan's content address; per
+  call only the activation lookup table crosses the process boundary,
+  through a reusable scratch arena.  Workers run the identical span
+  pipeline over identical bytes with the same chunk budget, so results
+  stay bit-identical at any worker count.  Small shapes fall back to the
+  serial path, and auto-sized calls may delegate to the thread pool when
+  the cost model's IPC-overhead term says threads win.
 
 All executors run the same elementwise float operations in the same order,
 so their results are *bit-identical* (asserted in the unit tests across
-bits, group sizes, aggregation modes and thread counts).  The executor is
-selected per kernel via ``TMACConfig.executor``.
+bits, group sizes, aggregation modes and thread/worker counts).  The
+executor is selected per kernel via ``TMACConfig.executor``.
 """
 
 from __future__ import annotations
@@ -37,7 +47,6 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Dict, List, Type
 
 import numpy as np
@@ -46,18 +55,23 @@ from repro.core.aggregation import exact_aggregate, fast_aggregate
 from repro.core.config import TMACConfig
 from repro.core.lut import LookupTable, lookup
 from repro.core.plan import KernelPlan
+from repro.core.shm import ExecutorWorkerError
 
 __all__ = [
     "KernelExecutor",
     "LoopExecutor",
     "VectorizedExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
+    "ExecutorWorkerError",
     "get_executor",
     "list_executors",
     "get_worker_pool",
     "shutdown_worker_pools",
     "parallel_executor_stats",
     "reset_parallel_executor_stats",
+    "process_executor_stats",
+    "reset_process_executor_stats",
 ]
 
 
@@ -432,38 +446,86 @@ def shutdown_worker_pools() -> None:
         pool.shutdown(wait=True)
 
 
-@dataclass
-class _ParallelStats:
-    """Process-wide counters of the parallel executor (O(1) aggregates)."""
+class _StatsBlock:
+    """Lock-protected counter block with atomic ``snapshot`` / ``reset``.
 
-    calls: int = 0  #: matmuls routed through the parallel executor
-    parallel_calls: int = 0  #: calls that actually sharded across workers
-    serial_fallbacks: int = 0  #: calls below the work threshold (serial path)
-    shards_executed: int = 0  #: total output-span shards run on workers
+    One lock covers every counter, so a snapshot taken mid-benchmark is
+    internally consistent (all keys from the same instant) and a reset
+    between benchmark phases can never interleave with a half-applied
+    update — the stats-bleed the benchmarks used to suffer from.
+    """
+
+    def __init__(self, keys):
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {key: 0 for key in keys}
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                self._counts[key] += delta
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            for key in self._counts:
+                self._counts[key] = 0
 
 
-_PARALLEL_STATS = _ParallelStats()
-_PARALLEL_STATS_LOCK = threading.Lock()
+_PARALLEL_STATS = _StatsBlock((
+    "parallel_calls",  # matmuls routed through the parallel executor
+    "parallel_sharded_calls",  # calls that actually sharded across workers
+    "parallel_serial_fallbacks",  # calls below the work threshold
+    "parallel_shards_executed",  # total output-span shards run on workers
+))
+
+_PROCESS_STATS = _StatsBlock((
+    "process_calls",  # matmuls routed through the process executor
+    "process_dispatches",  # calls dispatched to the worker-process pool
+    "process_serial_fallbacks",  # calls below the threshold / no shm
+    "process_thread_delegations",  # calls the cost model sent to threads
+    "process_shards_executed",  # total output-span shards run in workers
+    "process_worker_errors",  # calls that raised ExecutorWorkerError
+))
 
 
 def parallel_executor_stats() -> Dict[str, int]:
     """Counters of the process-wide parallel executor (serving stats)."""
-    with _PARALLEL_STATS_LOCK:
-        return {
-            "parallel_calls": _PARALLEL_STATS.calls,
-            "parallel_sharded_calls": _PARALLEL_STATS.parallel_calls,
-            "parallel_serial_fallbacks": _PARALLEL_STATS.serial_fallbacks,
-            "parallel_shards_executed": _PARALLEL_STATS.shards_executed,
-        }
+    return _PARALLEL_STATS.snapshot()
 
 
 def reset_parallel_executor_stats() -> None:
     """Zero the parallel-executor counters (tests and benchmarks)."""
-    with _PARALLEL_STATS_LOCK:
-        _PARALLEL_STATS.calls = 0
-        _PARALLEL_STATS.parallel_calls = 0
-        _PARALLEL_STATS.serial_fallbacks = 0
-        _PARALLEL_STATS.shards_executed = 0
+    _PARALLEL_STATS.reset()
+
+
+def process_executor_stats() -> Dict[str, int]:
+    """Counters and live gauges of the process-wide process executor.
+
+    The counter block is snapshot under a single lock; the shared-memory
+    segment/byte gauges and the worker-restart count are read live from
+    the registry and the pools (they are owned there, not here).
+    """
+    from repro.core import shm
+
+    stats = _PROCESS_STATS.snapshot()
+    registry = shm.shm_registry_stats()
+    stats["process_shm_segments"] = registry["segments"]
+    stats["process_shm_bytes"] = registry["bytes"]
+    stats["process_worker_restarts"] = sum(
+        pool.restarts for pool in shm.iter_process_pools())
+    return stats
+
+
+def reset_process_executor_stats() -> None:
+    """Zero the process-executor counters (tests and benchmarks)."""
+    from repro.core import shm
+
+    _PROCESS_STATS.reset()
+    for pool in shm.iter_process_pools():
+        pool.reset_stats()
 
 
 class ParallelExecutor(VectorizedExecutor):
@@ -508,9 +570,7 @@ class ParallelExecutor(VectorizedExecutor):
         if threads > 1 and work >= config.parallel_threshold:
             shards = plan.output_tiles(threads)
         if len(shards) <= 1:
-            with _PARALLEL_STATS_LOCK:
-                _PARALLEL_STATS.calls += 1
-                _PARALLEL_STATS.serial_fallbacks += 1
+            _PARALLEL_STATS.add(parallel_calls=1, parallel_serial_fallbacks=1)
             return super().matmul_with_table(plan, table, config, activation)
 
         # Build the shared gather metadata once, in the calling thread, so
@@ -534,10 +594,96 @@ class ParallelExecutor(VectorizedExecutor):
         futures = [pool.submit(run_shard, span) for span in shards]
         for future in futures:
             future.result()  # propagate the first worker exception, if any
-        with _PARALLEL_STATS_LOCK:
-            _PARALLEL_STATS.calls += 1
-            _PARALLEL_STATS.parallel_calls += 1
-            _PARALLEL_STATS.shards_executed += len(shards)
+        _PARALLEL_STATS.add(parallel_calls=1, parallel_sharded_calls=1,
+                            parallel_shards_executed=len(shards))
+        return out
+
+
+class ProcessExecutor(VectorizedExecutor):
+    """GIL-free executor: output-column shards on a worker-*process* pool.
+
+    The sharding geometry is exactly the :class:`ParallelExecutor`'s
+    (:meth:`KernelPlan.output_tiles`, tile-aligned, disjoint output spans),
+    but the shards execute in separate processes, so the Python glue
+    between numpy gathers genuinely overlaps instead of serializing on the
+    GIL.  Plan artifacts (weight scales/zeros, folded indices, signs,
+    gather offsets) are published once per plan into shared memory by
+    :mod:`repro.core.shm`; per call only the activation lookup table, the
+    group sums and the output move, all through a reusable scratch arena.
+    Workers run the same span pipeline over the same bytes with the same
+    chunk budget, so results are bit-identical to the serial vectorized
+    executor at any worker count.
+
+    Dispatch policy per call:
+
+    * below ``parallel_threshold`` (or with shared memory unavailable) —
+      the serial vectorized path, like the thread executor;
+    * ``num_workers=None`` (auto) — the cost model's IPC-aware
+      :func:`~repro.hardware.cost_model.pool_dispatch_choice` may route
+      the shape to the thread pool when the per-call arena traffic would
+      eat the GIL-free win;
+    * an explicit ``num_workers`` pins the call to the process pool.
+
+    A call either completes bit-identically (workers that die are
+    respawned and their shards resubmitted) or raises
+    :class:`ExecutorWorkerError` — it never hangs.
+    """
+
+    name = "process"
+
+    def resolve_workers(self, config: TMACConfig) -> int:
+        """Worker-process count for this call (override or CPU count)."""
+        if config.num_workers is not None:
+            return max(1, config.num_workers)
+        return max(1, os.cpu_count() or 1)
+
+    def matmul_with_table(
+        self,
+        plan: KernelPlan,
+        table: LookupTable,
+        config: TMACConfig,
+        activation: np.ndarray,
+    ) -> np.ndarray:
+        from repro.core import shm
+
+        n = activation.shape[0]
+        workers = self.resolve_workers(config)
+        work = n * plan.out_features * plan.num_groups
+        shards: List = []
+        if (workers > 1 and work >= config.parallel_threshold
+                and shm.shm_available()):
+            shards = plan.output_tiles(workers)
+        if len(shards) <= 1:
+            _PROCESS_STATS.add(process_calls=1, process_serial_fallbacks=1)
+            return super().matmul_with_table(plan, table, config, activation)
+
+        if config.num_workers is None:
+            from repro.hardware.cost_model import pool_dispatch_choice
+
+            choice = pool_dispatch_choice(
+                n, plan.out_features, plan.in_features, config,
+                len(shards), group_size=plan.group_size,
+                tile_config=plan.weights.tile_config,
+            )
+            if choice == "thread":
+                _PROCESS_STATS.add(process_calls=1,
+                                   process_thread_delegations=1)
+                delegated = config.with_options(executor="parallel",
+                                                num_threads=workers)
+                return ParallelExecutor().matmul_with_table(
+                    plan, table, delegated, activation)
+
+        group_sums = activation.reshape(n, plan.num_qgroups, -1).sum(axis=2)
+        span_budget = max(1, self.max_gather_elements // len(shards))
+        pool = shm.get_process_pool(workers)
+        try:
+            out = pool.run_matmul(plan, table, config, group_sums, shards,
+                                  span_budget)
+        except ExecutorWorkerError:
+            _PROCESS_STATS.add(process_calls=1, process_worker_errors=1)
+            raise
+        _PROCESS_STATS.add(process_calls=1, process_dispatches=1,
+                           process_shards_executed=len(shards))
         return out
 
 
@@ -545,12 +691,13 @@ _EXECUTORS: Dict[str, Type[KernelExecutor]] = {
     LoopExecutor.name: LoopExecutor,
     VectorizedExecutor.name: VectorizedExecutor,
     ParallelExecutor.name: ParallelExecutor,
+    ProcessExecutor.name: ProcessExecutor,
 }
 
 
 def get_executor(name: str) -> KernelExecutor:
-    """Instantiate an executor by name (``"vectorized"``, ``"parallel"``
-    or ``"loop"``)."""
+    """Instantiate an executor by name (``"vectorized"``, ``"parallel"``,
+    ``"process"`` or ``"loop"``)."""
     try:
         return _EXECUTORS[name]()
     except KeyError:

@@ -321,6 +321,24 @@ class GatewayMetrics:
             f"{ns}_prefix_cache_hit_rate",
             "Fraction of prompt tokens served from shared prefix pages "
             "(-1 when prefix caching is off).")
+        self.process_dispatches = registry.counter(
+            f"{ns}_process_executor_dispatches_total",
+            "mpGEMM calls dispatched to the worker-process pool "
+            "(process-wide executor counter).")
+        self.process_fallbacks = registry.counter(
+            f"{ns}_process_executor_fallbacks_total",
+            "Process-executor calls that fell back to the serial path "
+            "(below threshold or shared memory unavailable).")
+        self.process_worker_restarts = registry.counter(
+            f"{ns}_process_worker_restarts_total",
+            "Dead mpGEMM worker processes respawned by the pool.")
+        self.process_shm_segments = registry.gauge(
+            f"{ns}_process_shm_segments",
+            "Live shared-memory segments (published plans + scratch "
+            "arenas).")
+        self.process_shm_bytes = registry.gauge(
+            f"{ns}_process_shm_bytes",
+            "Bytes held in shared-memory segments.")
 
     def observe_timing(self, samples: Dict[str, List[float]]) -> None:
         """Feed drained engine timing samples into the histograms."""
@@ -342,6 +360,13 @@ class GatewayMetrics:
         self.plan_cache_hit_rate.set(hits / total if total else 0.0)
         self.prefix_cache_hit_rate.set(stats.get("prefix_hit_rate", -1.0))
         self.kv_free_pages.set(stats.get("kv_free_blocks", -1.0))
+        self.process_dispatches.set_total(stats.get("process_dispatches", 0))
+        self.process_fallbacks.set_total(
+            stats.get("process_serial_fallbacks", 0))
+        self.process_worker_restarts.set_total(
+            stats.get("process_worker_restarts", 0))
+        self.process_shm_segments.set(stats.get("process_shm_segments", 0))
+        self.process_shm_bytes.set(stats.get("process_shm_bytes", 0))
 
     def observe_counts(self, active: int, prefilling: int) -> None:
         self.active_sessions.set(active)

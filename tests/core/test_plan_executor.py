@@ -81,7 +81,8 @@ class TestExecutorParity:
             get_executor("cuda")
 
     def test_executor_listing(self):
-        assert list_executors() == ["loop", "parallel", "vectorized"]
+        assert list_executors() == ["loop", "parallel", "process",
+                                    "vectorized"]
 
 
 class TestSharedTableExecution:
