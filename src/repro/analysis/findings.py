@@ -1,0 +1,171 @@
+"""Finding model, suppression comments, and the machine-readable report.
+
+A *finding* is one rule violation at one source location.  Findings can be
+suppressed in-source with a structured comment that **must** carry a
+reason (undocumented suppressions are themselves findings):
+
+``# repro-lint: disable=<rule>[,<rule>] -- <reason>``
+    Suppresses the listed rules on the same line, or — when the comment
+    stands alone on its own line — on the next source line.
+
+``# repro-lint: disable-file=<rule>[,<rule>] -- <reason>``
+    Suppresses the listed rules for the whole file (place near the top).
+
+The JSON report (``--json``) is stable and machine-readable so CI can
+upload it as an artifact and future tooling can diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Finding",
+    "Suppressions",
+    "parse_suppressions",
+    "apply_suppressions",
+    "report_dict",
+    "render_report_json",
+]
+
+#: Bumped when the JSON report layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+?)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Finding:
+    """One rule violation (or suppressed violation) at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The symbol (class.attr, function, call) the finding is about.
+    symbol: str = ""
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    #: line number -> {rule: reason} (applies to findings on that line).
+    by_line: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    #: rule -> reason, applied to the whole file.
+    file_level: Dict[str, str] = field(default_factory=dict)
+    #: Malformed directives (missing ``-- reason``): list of (line, text).
+    undocumented: List[Tuple[int, str]] = field(default_factory=list)
+
+    def lookup(self, rule: str, line: int) -> Optional[str]:
+        """The reason suppressing ``rule`` at ``line``, or ``None``."""
+        if rule in self.file_level:
+            return self.file_level[rule]
+        rules = self.by_line.get(line)
+        if rules is None:
+            return None
+        return rules.get(rule)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``repro-lint`` suppression directives from raw source text.
+
+    Line-based on purpose: directives live in comments, and matching raw
+    lines keeps the parser independent of tokenization quirks.  A
+    directive on a comment-only line applies to the next line; one
+    trailing a statement applies to its own line.
+    """
+    out = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",")
+                 if r.strip()]
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            out.undocumented.append((lineno, text.strip()))
+            continue
+        if match.group("kind") == "disable-file":
+            for rule in rules:
+                out.file_level.setdefault(rule, reason)
+            continue
+        target = lineno
+        if text.lstrip().startswith("#"):
+            target = lineno + 1  # standalone comment: guards the next line
+        entry = out.by_line.setdefault(target, {})
+        for rule in rules:
+            entry.setdefault(rule, reason)
+    return out
+
+
+def apply_suppressions(findings: List[Finding],
+                       suppressions: Suppressions,
+                       path: str) -> List[Finding]:
+    """Mark suppressed findings and append bad-suppression findings.
+
+    Returns the combined list (suppressed findings are kept — the JSON
+    report records them so reviewers can audit every suppression).
+    """
+    for finding in findings:
+        reason = suppressions.lookup(finding.rule, finding.line)
+        if reason is not None:
+            finding.suppressed = True
+            finding.suppress_reason = reason
+    for lineno, text in suppressions.undocumented:
+        findings.append(Finding(
+            rule="bad-suppression",
+            path=path,
+            line=lineno,
+            col=0,
+            message=(
+                "suppression without a reason; write "
+                "'# repro-lint: disable=<rule> -- <why this is safe>'"
+            ),
+            symbol=text,
+        ))
+    return findings
+
+
+def report_dict(findings: List[Finding], checked_files: List[str],
+                paths: List[str]) -> dict:
+    """Assemble the machine-readable report structure."""
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    by_rule: Dict[str, int] = {}
+    for finding in active:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "tool": "repro-lint",
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "paths": list(paths),
+        "files_checked": len(checked_files),
+        "summary": {
+            "findings": len(active),
+            "suppressed": len(suppressed),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [asdict(f) for f in active],
+        "suppressed": [asdict(f) for f in suppressed],
+    }
+
+
+def render_report_json(findings: List[Finding], checked_files: List[str],
+                       paths: List[str]) -> str:
+    return json.dumps(report_dict(findings, checked_files, paths),
+                      indent=2, sort_keys=False) + "\n"

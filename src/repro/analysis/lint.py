@@ -1,0 +1,155 @@
+"""``repro_lint`` — invariant-aware static analysis for this repo.
+
+Usage::
+
+    python -m repro.analysis.lint src/                 # human-readable
+    python -m repro.analysis.lint src/ --json report.json
+    python -m repro.analysis.lint src/ --rules lock-guard,frozen-plan
+    python -m repro.analysis.lint --list-rules
+
+Exit status is 0 when no active (unsuppressed) findings remain, 1
+otherwise, 2 on usage errors.  Stdlib-only on purpose: the container has
+no ruff/mypy, and the CI lint job must be runnable locally byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from .checkers import RULE_CHECKERS, RULE_DOCS
+from .findings import (
+    Finding,
+    apply_suppressions,
+    parse_suppressions,
+    render_report_json,
+)
+
+__all__ = ["lint_source", "lint_paths", "iter_python_files", "main"]
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Yield ``.py`` files under ``paths`` in deterministic order."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git") and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_source(path: str, source: str,
+                rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the selected rules over one file's source text."""
+    selected = list(rules) if rules is not None else list(RULE_CHECKERS)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="parse-error",
+            path=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            message=f"cannot parse file: {exc.msg}",
+        )]
+    findings: List[Finding] = []
+    for rule in selected:
+        findings.extend(RULE_CHECKERS[rule](path, tree))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return apply_suppressions(findings, parse_suppressions(source), path)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[str]] = None,
+               ) -> tuple[List[Finding], List[str]]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, checked_files)`` with findings in file order.
+    """
+    findings: List[Finding] = []
+    checked: List[str] = []
+    for filepath in iter_python_files(paths):
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(Finding(
+                rule="parse-error", path=filepath, line=0, col=0,
+                message=f"cannot read file: {exc}",
+            ))
+            continue
+        checked.append(filepath)
+        findings.extend(lint_source(filepath, source, rules))
+    return findings, checked
+
+
+def _parse_rules(spec: str) -> List[str]:
+    rules = [r.strip() for r in spec.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in RULE_CHECKERS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule(s): {', '.join(unknown)}; "
+            f"known: {', '.join(RULE_CHECKERS)}"
+        )
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Invariant-aware static analysis for the repro tree.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the machine-readable report "
+                             "('-' for stdout)")
+    parser.add_argument("--rules", type=_parse_rules, default=None,
+                        metavar="RULE[,RULE]",
+                        help="run only these rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list available rules and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the human-readable listing")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULE_CHECKERS:
+            print(f"{rule}: {RULE_DOCS[rule]}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis.lint src/)")
+
+    findings, checked = lint_paths(args.paths, args.rules)
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    if args.json is not None:
+        payload = render_report_json(findings, checked, list(args.paths))
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+
+    if not args.quiet and args.json != "-":
+        for finding in active:
+            print(finding.render())
+        print(
+            f"repro-lint: {len(checked)} files checked, "
+            f"{len(active)} finding(s), {len(suppressed)} suppressed"
+        )
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

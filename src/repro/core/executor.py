@@ -51,6 +51,7 @@ from typing import Dict, List, Type
 
 import numpy as np
 
+from repro.analysis.sanitizer import plan_canary
 from repro.core.aggregation import exact_aggregate, fast_aggregate
 from repro.core.config import TMACConfig
 from repro.core.lut import LookupTable, lookup
@@ -194,8 +195,9 @@ class KernelExecutor:
         """
         n = activation.shape[0]
         group_sums = activation.reshape(n, plan.num_qgroups, -1).sum(axis=2)
-        out = self._recombine_span(plan, table, config, group_sums,
-                                   0, plan.out_features)
+        with plan_canary(plan):
+            out = self._recombine_span(plan, table, config, group_sums,
+                                       0, plan.out_features)
         return out.astype(np.float32)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -515,7 +517,7 @@ def process_executor_stats() -> Dict[str, int]:
     stats["process_shm_segments"] = registry["segments"]
     stats["process_shm_bytes"] = registry["bytes"]
     stats["process_worker_restarts"] = sum(
-        pool.restarts for pool in shm.iter_process_pools())
+        pool.restart_count() for pool in shm.iter_process_pools())
     return stats
 
 
@@ -591,9 +593,10 @@ class ParallelExecutor(VectorizedExecutor):
             )
 
         pool = get_worker_pool(threads)
-        futures = [pool.submit(run_shard, span) for span in shards]
-        for future in futures:
-            future.result()  # propagate the first worker exception, if any
+        with plan_canary(plan):
+            futures = [pool.submit(run_shard, span) for span in shards]
+            for future in futures:
+                future.result()  # propagate the first worker exception
         _PARALLEL_STATS.add(parallel_calls=1, parallel_sharded_calls=1,
                             parallel_shards_executed=len(shards))
         return out
@@ -677,8 +680,9 @@ class ProcessExecutor(VectorizedExecutor):
         span_budget = max(1, self.max_gather_elements // len(shards))
         pool = shm.get_process_pool(workers)
         try:
-            out = pool.run_matmul(plan, table, config, group_sums, shards,
-                                  span_budget)
+            with plan_canary(plan):
+                out = pool.run_matmul(plan, table, config, group_sums,
+                                      shards, span_budget)
         except ExecutorWorkerError:
             _PROCESS_STATS.add(process_calls=1, process_worker_errors=1)
             raise

@@ -258,13 +258,17 @@ class KernelPlan:
         Thread-safe: concurrent callers (e.g. parallel-executor workers)
         build the metadata exactly once and all receive the same object.
         """
+        # Benign double-checked read: dict.get is atomic under the GIL and
+        # entries are only ever added (never mutated or removed), so a
+        # stale miss just falls through to the locked slow path.
+        # repro-lint: disable=lock-guard -- lock-free fast path; misses fall through to the locked build
         cached = self._gather_cache.get(mirrored)
         if cached is not None:
             return cached
         with self._gather_lock:
-            return self._build_lookup_tables(mirrored)
+            return self._build_lookup_tables_locked(mirrored)
 
-    def _build_lookup_tables(self, mirrored: bool) -> _LookupTables:
+    def _build_lookup_tables_locked(self, mirrored: bool) -> _LookupTables:
         cached = self._gather_cache.get(mirrored)
         if cached is not None:
             return cached
@@ -290,6 +294,15 @@ class KernelPlan:
                 (col[None, :] + folded).astype(np.int32)
                 for folded in folded_planes
             ]
+        # Freeze before publication: the tables escape to every executor
+        # thread/process, and a writable view would let a kernel bug
+        # corrupt results silently instead of raising.
+        for arr in folded_planes:
+            arr.setflags(write=False)
+        for group in (signs, offsets):
+            if group is not None:
+                for arr in group:
+                    arr.setflags(write=False)
         tables = _LookupTables(stored=stored, folded=folded_planes,
                                signs=signs, offsets=offsets)
         self._gather_cache[mirrored] = tables

@@ -505,7 +505,7 @@ class ProcessWorkerPool:
 
     # -- lifecycle ---------------------------------------------------- #
 
-    def _spawn(self, worker_id: int) -> _Worker:
+    def _spawn_locked(self, worker_id: int) -> _Worker:
         task_queue = self._ctx.Queue()
         proc = self._ctx.Process(
             target=_worker_main,
@@ -516,7 +516,7 @@ class ProcessWorkerPool:
         proc.start()
         return _Worker(proc=proc, queue=task_queue)
 
-    def _ensure_workers(self, count_restarts: bool) -> None:
+    def _ensure_workers_locked(self, count_restarts: bool) -> None:
         if self._workers:
             dead = [w for w in self._workers if not w.proc.is_alive()]
             if dead:
@@ -528,11 +528,13 @@ class ProcessWorkerPool:
                 # results queue's shared write semaphore — every process
                 # that later writes to that queue would block forever.
                 # Recycle the whole pool (fresh processes, fresh queues).
-                self._reset()
+                self._reset_locked()
         if not self._workers:
-            self._workers = [self._spawn(i) for i in range(self.num_workers)]
+            self._workers = [
+                self._spawn_locked(i) for i in range(self.num_workers)
+            ]
 
-    def _ensure_arena(self, nbytes: int) -> None:
+    def _ensure_arena_locked(self, nbytes: int) -> None:
         if self._arena is not None and self._arena_bytes >= nbytes:
             return
         if self._arena is not None:
@@ -543,7 +545,7 @@ class ProcessWorkerPool:
         )
         self._arena_bytes = size
 
-    def _reset(self) -> None:
+    def _reset_locked(self) -> None:
         """Kill every worker and drop queued work (post-error hygiene).
 
         The shared results queue is recycled along with the workers: a
@@ -551,7 +553,7 @@ class ProcessWorkerPool:
         which would deadlock every future worker that touches the old
         queue (the parent would then see alive-but-silent workers until
         the call deadline).  Task queues are per-worker and already
-        replaced by ``_spawn``.
+        replaced by ``_spawn_locked``.
         """
         for worker in self._workers:
             if worker.proc.is_alive():
@@ -559,9 +561,9 @@ class ProcessWorkerPool:
         for worker in self._workers:
             worker.proc.join(timeout=2.0)
         self._workers = []
-        self._recycle_results_queue()
+        self._recycle_results_queue_locked()
 
-    def _recycle_results_queue(self) -> None:
+    def _recycle_results_queue_locked(self) -> None:
         old = self._results
         self._results = self._ctx.Queue()
         try:
@@ -585,17 +587,24 @@ class ProcessWorkerPool:
                     worker.proc.terminate()
                     worker.proc.join(timeout=1.0)
             self._workers = []
-            self._recycle_results_queue()
+            self._recycle_results_queue_locked()
             if self._arena is not None:
                 _destroy_segment(self._arena)
                 self._arena = None
                 self._arena_bytes = 0
 
     def reset_stats(self) -> None:
-        self.restarts = 0
+        with self._lock:
+            self.restarts = 0
 
     def arena_bytes(self) -> int:
-        return self._arena_bytes if self._arena is not None else 0
+        with self._lock:
+            return self._arena_bytes if self._arena is not None else 0
+
+    def restart_count(self) -> int:
+        """Cumulative worker respawns, read under the dispatch lock."""
+        with self._lock:
+            return self.restarts
 
     # -- test hooks --------------------------------------------------- #
 
@@ -610,7 +619,7 @@ class ProcessWorkerPool:
         """
         with self._lock:
             if not self._workers:
-                self._ensure_workers(count_restarts=False)
+                self._ensure_workers_locked(count_restarts=False)
             worker = self._workers[index % len(self._workers)]
             if mid_dispatch:
                 worker.queue.put(("crash",))
@@ -632,8 +641,8 @@ class ProcessWorkerPool:
         n = int(table.num_rows)
         m = int(plan.out_features)
         with self._lock:
-            self._drain_stale_results()
-            self._ensure_workers(count_restarts=True)
+            self._drain_stale_results_locked()
+            self._ensure_workers_locked(count_restarts=True)
             manifest = PLAN_SEGMENTS.publish(plan, table.mirrored)
             plan_key = manifest["key"]
 
@@ -646,7 +655,7 @@ class ProcessWorkerPool:
             out_spec = np.empty((n, m), dtype=np.float32)
             arrays["out"] = out_spec
             total, layout = _pack_arrays(arrays)
-            self._ensure_arena(total)
+            self._ensure_arena_locked(total)
             for name in ("values", "group_sums", "scales"):
                 if name in arrays:
                     np.copyto(
@@ -662,11 +671,13 @@ class ProcessWorkerPool:
             pending: Dict[int, Tuple[int, int]] = {
                 i: span for i, span in enumerate(shards)
             }
-            self._submit(pending, call_id, plan_key, manifest, layout,
-                         table_meta, span_budget, config.fast_aggregation)
-            retried = self._await(pending, call_id, plan_key, manifest,
-                                  layout, table_meta, span_budget,
-                                  config.fast_aggregation)
+            self._submit_locked(pending, call_id, plan_key, manifest,
+                                layout, table_meta, span_budget,
+                                config.fast_aggregation)
+            retried = self._await_locked(pending, call_id, plan_key,
+                                         manifest, layout, table_meta,
+                                         span_budget,
+                                         config.fast_aggregation)
             result = np.array(_view(self._arena.buf, layout["out"]))
             if retried:
                 # Resubmission may have left duplicate shard tasks in
@@ -674,10 +685,10 @@ class ProcessWorkerPool:
                 # to the same span), but a straggler racing the *next*
                 # call's arena reuse would not be.  Recycle the workers so
                 # nothing outlives the call.
-                self._reset()
+                self._reset_locked()
             return result
 
-    def _submit(self, pending, call_id, plan_key, manifest, layout,
+    def _submit_locked(self, pending, call_id, plan_key, manifest, layout,
                 table_meta, span_budget, fast_aggregation) -> None:
         for i, (m0, m1) in sorted(pending.items()):
             worker = self._workers[i % len(self._workers)]
@@ -690,7 +701,7 @@ class ProcessWorkerPool:
                 span_budget, fast_aggregation,
             ))
 
-    def _await(self, pending, call_id, plan_key, manifest, layout,
+    def _await_locked(self, pending, call_id, plan_key, manifest, layout,
                table_meta, span_budget, fast_aggregation) -> int:
         """Wait for the call's shards; returns the respawn-round count."""
         deadline = time.monotonic() + self.call_timeout_s
@@ -705,7 +716,7 @@ class ProcessWorkerPool:
                     retries += 1
                     self.restarts += len(dead)
                     if retries > self.max_retries:
-                        self._reset()
+                        self._reset_locked()
                         raise ExecutorWorkerError(
                             f"mpGEMM call lost workers {retries} times in a "
                             f"row; giving up with {len(pending)} shard(s) "
@@ -719,13 +730,13 @@ class ProcessWorkerPool:
                     # queues, then resubmit every outstanding shard (we
                     # cannot know which ones the dead worker had consumed;
                     # shard writes are disjoint and idempotent).
-                    self._reset()
-                    self._ensure_workers(count_restarts=False)
-                    self._submit(pending, call_id, plan_key, manifest,
-                                 layout, table_meta, span_budget,
-                                 fast_aggregation)
+                    self._reset_locked()
+                    self._ensure_workers_locked(count_restarts=False)
+                    self._submit_locked(pending, call_id, plan_key,
+                                        manifest, layout, table_meta,
+                                        span_budget, fast_aggregation)
                 if time.monotonic() > deadline:
-                    self._reset()
+                    self._reset_locked()
                     raise ExecutorWorkerError(
                         f"mpGEMM call timed out after "
                         f"{self.call_timeout_s:.0f}s with {len(pending)} "
@@ -737,13 +748,13 @@ class ProcessWorkerPool:
             if msg[0] == "ok":
                 pending.pop(msg[2], None)
             else:
-                self._reset()
+                self._reset_locked()
                 raise ExecutorWorkerError(
                     f"worker shard {msg[2]} failed:\n{msg[4]}"
                 )
         return retries
 
-    def _drain_stale_results(self) -> None:
+    def _drain_stale_results_locked(self) -> None:
         while True:
             try:
                 self._results.get_nowait()

@@ -314,11 +314,19 @@ def preprocess_weights(
             packed = interleave_packed(packed)
         packed_planes.append(packed)
 
+    # Freeze every array before publication: preprocessed weights are
+    # shared across executor threads and checksummed into plan keys — a
+    # writable buffer would let silent mutation invalidate both.
+    scales = qweight.scales.astype(np.float32)
+    zeros = qweight.zeros.astype(np.float32)
+    for arr in (*index_planes, *packed_planes, scales, zeros):
+        arr.setflags(write=False)
+
     return PreprocessedWeights(
         index_planes=index_planes,
         packed_planes=packed_planes,
-        scales=qweight.scales.astype(np.float32),
-        zeros=qweight.zeros.astype(np.float32),
+        scales=scales,
+        zeros=zeros,
         bits=qweight.bits,
         g=config.g,
         group_size=qweight.group_size,

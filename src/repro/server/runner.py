@@ -58,8 +58,12 @@ class EngineRunner:
         self._started = False
         #: Submits shipped but not yet executed on the engine thread —
         #: counted separately from other commands so admission control
-        #: does not mistake metrics scrapes for queued requests.
+        #: does not mistake metrics scrapes for queued requests.  Bumped
+        #: on caller threads and decremented on the runner thread, so the
+        #: counter has its own lock (unsynchronized "x += 1" from two
+        #: threads can lose updates and skew admission forever).
         self._pending_submits = 0
+        self._pending_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -94,11 +98,13 @@ class EngineRunner:
         """Requests waiting for admission plus submits not yet executed.
 
         Only *request* work counts: stats/cancel/reap commands are
-        transient and must not trip 429 backpressure.  Read without
-        synchronization — both terms are single loads, and admission
-        control only needs a bound, not an exact snapshot.
+        transient and must not trip 429 backpressure.  The two terms are
+        read independently — admission control only needs a bound, not an
+        atomic snapshot across engine and runner.
         """
-        return self.engine.num_waiting + self._pending_submits
+        with self._pending_lock:
+            pending = self._pending_submits
+        return self.engine.num_waiting + pending
 
     # ------------------------------------------------------------------ #
     # Thread-shipped operations
@@ -136,17 +142,20 @@ class EngineRunner:
         """
 
         def op(engine: ServingEngine) -> int:
-            self._pending_submits -= 1
+            with self._pending_lock:
+                self._pending_submits -= 1
             deadline = (engine.clock() + timeout_s
                         if timeout_s is not None else None)
             return engine.submit(stream_hook=stream_hook,
                                  deadline=deadline, **request)
 
-        self._pending_submits += 1
+        with self._pending_lock:
+            self._pending_submits += 1
         try:
             return self.call(op)
         except BaseException:
-            self._pending_submits -= 1
+            with self._pending_lock:
+                self._pending_submits -= 1
             raise
 
     def cancel(self, session_id: int) -> "Future":

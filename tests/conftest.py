@@ -2,11 +2,46 @@
 
 from __future__ import annotations
 
+# The sanitizer must patch threading.Lock before any repro module creates
+# one (module-level registry locks are born at import time), so this
+# block runs before every other import that pulls in repro code.
+from repro.analysis import sanitizer
+
+sanitizer.install()
+
 import numpy as np
 import pytest
 
 from repro.quant.uniform import quantize_weights
 from repro.workloads.generator import gaussian_activation, gaussian_weights
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sanitizer_gate():
+    """Fail the session on any lock-order inversion or canary trip.
+
+    Inert unless ``REPRO_SANITIZE=1``.  Runs after the last test so the
+    whole suite's lock traffic is in the graph; also writes the graph
+    snapshot when ``REPRO_SANITIZE_GRAPH_OUT`` is set (in addition to the
+    atexit hook, so the snapshot exists even if pytest hard-exits).
+    """
+    yield
+    if not sanitizer.enabled():
+        return
+    import os
+
+    out = os.environ.get("REPRO_SANITIZE_GRAPH_OUT", "").strip()
+    if out:
+        sanitizer.write_graph_snapshot(out)
+    report = sanitizer.stats()
+    assert report["lock_order_inversions"] == [], (
+        "lock-order inversions recorded during the session: "
+        f"{report['lock_order_inversions']}"
+    )
+    assert report["canary_trips"] == 0, (
+        f"plan-mutation canary tripped {report['canary_trips']} time(s) "
+        "during the session"
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,65 @@
+"""Regression tests for the frozen-plan invariant (found by repro_lint).
+
+``preprocess_weights`` and the lazy gather-table build used to publish
+writable arrays; a stray in-place write anywhere downstream would have
+silently corrupted results (and, for the process executor, desynced the
+content-addressed shared-memory segments from the plan bytes).  Every
+published artifact is now ``setflags(write=False)``-frozen, so such a
+write raises immediately instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TMACConfig
+from repro.core.plan import build_plan
+from repro.core.weights import preprocess_weights
+from repro.quant.uniform import quantize_weights
+from repro.workloads.generator import gaussian_weights
+
+
+def make_plan(bits=4, mirrored=True):
+    qw = quantize_weights(gaussian_weights(32, 128, seed=21), bits=bits,
+                          group_size=32)
+    config = TMACConfig(bits=bits, mirror_consolidation=mirrored)
+    return build_plan(qw, config), config
+
+
+class TestPreprocessedWeightsFrozen:
+    def test_every_array_is_read_only(self, small_qweight):
+        pw = preprocess_weights(small_qweight, TMACConfig(bits=4))
+        arrays = [pw.scales, pw.zeros, *pw.index_planes, *pw.packed_planes]
+        assert arrays
+        for arr in arrays:
+            assert not arr.flags.writeable
+
+    def test_write_attempts_raise(self, small_qweight):
+        pw = preprocess_weights(small_qweight, TMACConfig(bits=4))
+        with pytest.raises(ValueError):
+            pw.scales[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            pw.index_planes[0][0, 0] = 3
+
+
+class TestGatherTablesFrozen:
+    @pytest.mark.parametrize("mirrored", [True, False])
+    def test_lookup_tables_are_read_only(self, mirrored):
+        plan, _ = make_plan(mirrored=mirrored)
+        tables = plan.lookup_tables(mirrored)
+        arrays = list(tables.folded)
+        for group in (tables.signs, tables.offsets):
+            if group is not None:
+                arrays.extend(group)
+        assert arrays
+        for arr in arrays:
+            assert not arr.flags.writeable
+
+    def test_cached_object_is_shared_and_stays_frozen(self):
+        plan, _ = make_plan()
+        first = plan.lookup_tables(True)
+        second = plan.lookup_tables(True)
+        assert first is second
+        with pytest.raises(ValueError):
+            first.folded[0][0] = 0

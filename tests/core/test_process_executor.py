@@ -292,6 +292,45 @@ class TestStats:
         reset_parallel_executor_stats()
         assert all(v == 0 for v in parallel_executor_stats().values())
 
+    def test_pool_stat_accessors_are_safe_during_dispatch(self):
+        """Regression (found by repro_lint): ``reset_stats`` and
+        ``arena_bytes`` read/wrote pool state with no lock, racing the
+        dispatch path's worker respawns and arena growth.  Hammer the
+        accessors from other threads while calls run and assert nothing
+        raises and the final counters are coherent."""
+        import threading
+
+        _, process = make_kernels(seed=34, workers=2)
+        a = gaussian_activation(2, 128, seed=35)
+        process.matmul(a)  # warm the pool + arena
+        pool = shm.get_process_pool(2)
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    pool.arena_bytes()
+                    pool.restart_count()
+                    pool.reset_stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(5):
+                process.matmul(a)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        assert errors == []
+        assert pool.arena_bytes() > 0
+        pool.reset_stats()
+        assert pool.restart_count() == 0
+
 
 class TestFaultTolerance:
     def test_worker_killed_between_calls_respawns(self):
@@ -326,7 +365,7 @@ class TestFaultTolerance:
         for worker in pool._workers:
             worker.proc.terminate()
             worker.proc.join(timeout=5.0)
-        monkeypatch.setattr(pool, "_ensure_workers",
+        monkeypatch.setattr(pool, "_ensure_workers_locked",
                             lambda count_restarts=True: None)
         with pytest.raises(ExecutorWorkerError):
             process.matmul(a)

@@ -90,3 +90,37 @@ class TestStepFailureContainment:
             assert runner.stats().result(5)["step_failures"] >= 1
             # Commands keep flowing after the failure.
             assert runner.call(lambda e: len(e.sessions)).result(5) == 0
+
+
+class TestPendingSubmitAccounting:
+    def test_concurrent_submits_never_skew_queue_depth(self):
+        """Regression (found by repro_lint): ``_pending_submits`` was
+        incremented on caller threads and decremented on the runner
+        thread with no lock — lost updates would skew admission control's
+        queue depth forever.  Hammer submits from many threads and assert
+        the counter returns exactly to zero."""
+        import threading
+
+        with EngineRunner(ServingEngine(make_model())) as runner:
+            futures = []
+            futures_lock = threading.Lock()
+
+            def submit_some(seed):
+                for i in range(10):
+                    future = runner.submit(prompt_tokens=[1 + seed, 2 + i],
+                                           max_new_tokens=1)
+                    with futures_lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=submit_some, args=(t,))
+                       for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            sids = [future.result(5) for future in futures]
+            assert len(sids) == 40
+            # Every shipped submit has executed; the pending counter must
+            # be exactly zero (queue_depth only adds engine waiters).
+            assert wait_until(lambda: runner._pending_submits == 0)
+            assert runner._pending_submits == 0
