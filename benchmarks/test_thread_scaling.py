@@ -396,6 +396,8 @@ def _headline_metrics(points) -> dict:
     metrics = {}
     for point in points:
         if point.get("workers") == 4 and "speedup" in point:
-            key = f"{point['series']} @4".replace(" ", "_")
+            # "speedup" in the name keys the trajectory tool's
+            # higher-is-better direction inference.
+            key = f"{point['series']} speedup @4".replace(" ", "_")
             metrics[key] = round(point["speedup"], 3)
     return metrics

@@ -1,0 +1,133 @@
+"""Unit tests for the cross-PR benchmark trajectory tool."""
+
+import json
+
+import pytest
+
+import trajectory
+
+
+def write_doc(results_dir, bench, metrics, git_sha="aaa111"):
+    doc = {
+        "bench": bench,
+        "schema_version": 1,
+        "git_sha": git_sha,
+        "host": {"platform": "test"},
+        "params": {},
+        "series": [],
+        "metrics": metrics,
+    }
+    path = results_dir / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "batched_tokens_per_s", "speedup_over_serial", "hit_rate",
+        "mpGEMM_S0_threads_speedup_@4",  # a thread-scaling headline
+    ])
+    def test_higher_is_better(self, name):
+        assert trajectory.metric_direction(name) == "higher"
+
+    @pytest.mark.parametrize("name", [
+        "decode_latency_ms", "S0_seconds", "nmse", "p99", "gemv_s",
+    ])
+    def test_lower_is_better(self, name):
+        assert trajectory.metric_direction(name) == "lower"
+
+    def test_ambiguous_names_are_skipped(self):
+        assert trajectory.metric_direction("workers") is None
+        # "_s" is a suffix check only — not a substring trap.
+        assert trajectory.metric_direction("s0_shape") is None
+
+
+class TestUpdate:
+    def test_creates_trajectory_and_appends_points(self, tmp_path):
+        write_doc(tmp_path, "serving", {"tokens_per_s": 100.0}, "sha1")
+        doc = trajectory.update(str(tmp_path))
+        assert doc["benches"]["serving"]["points"] == [
+            {"git_sha": "sha1", "metrics": {"tokens_per_s": 100.0}}]
+        write_doc(tmp_path, "serving", {"tokens_per_s": 120.0}, "sha2")
+        doc = trajectory.update(str(tmp_path))
+        assert [p["git_sha"] for p in doc["benches"]["serving"]["points"]] \
+            == ["sha1", "sha2"]
+
+    def test_same_sha_replaces_instead_of_duplicating(self, tmp_path):
+        write_doc(tmp_path, "serving", {"tokens_per_s": 100.0}, "sha1")
+        trajectory.update(str(tmp_path))
+        write_doc(tmp_path, "serving", {"tokens_per_s": 105.0}, "sha1")
+        doc = trajectory.update(str(tmp_path))
+        points = doc["benches"]["serving"]["points"]
+        assert len(points) == 1
+        assert points[0]["metrics"]["tokens_per_s"] == 105.0
+
+    def test_history_is_bounded(self, tmp_path):
+        for i in range(7):
+            write_doc(tmp_path, "serving", {"tokens_per_s": float(i)},
+                      f"sha{i}")
+            trajectory.update(str(tmp_path), max_points=3)
+        doc = trajectory.load_trajectory(
+            str(tmp_path / trajectory.TRAJECTORY_BASENAME))
+        points = doc["benches"]["serving"]["points"]
+        assert [p["git_sha"] for p in points] == ["sha4", "sha5", "sha6"]
+
+    def test_non_numeric_metrics_dropped(self, tmp_path):
+        write_doc(tmp_path, "serving",
+                  {"tokens_per_s": 10.0, "host": "not-a-number"})
+        doc = trajectory.update(str(tmp_path))
+        assert doc["benches"]["serving"]["points"][0]["metrics"] == {
+            "tokens_per_s": 10.0}
+
+
+class TestCheck:
+    def seed_baseline(self, tmp_path, metrics, sha="base"):
+        write_doc(tmp_path, "serving", metrics, sha)
+        trajectory.update(str(tmp_path))
+
+    def test_no_regression_within_threshold(self, tmp_path):
+        self.seed_baseline(tmp_path, {"tokens_per_s": 100.0})
+        write_doc(tmp_path, "serving", {"tokens_per_s": 95.0}, "new")
+        assert trajectory.check(str(tmp_path)) == []
+
+    def test_flags_throughput_drop(self, tmp_path):
+        self.seed_baseline(tmp_path, {"tokens_per_s": 100.0})
+        write_doc(tmp_path, "serving", {"tokens_per_s": 80.0}, "new")
+        messages = trajectory.check(str(tmp_path))
+        assert len(messages) == 1
+        assert "tokens_per_s" in messages[0]
+        assert "20.0%" in messages[0]
+
+    def test_flags_latency_increase(self, tmp_path):
+        self.seed_baseline(tmp_path, {"decode_latency_ms": 10.0})
+        write_doc(tmp_path, "serving", {"decode_latency_ms": 15.0}, "new")
+        assert len(trajectory.check(str(tmp_path))) == 1
+
+    def test_improvements_never_flagged(self, tmp_path):
+        self.seed_baseline(tmp_path, {"tokens_per_s": 100.0,
+                                      "decode_latency_ms": 10.0})
+        write_doc(tmp_path, "serving",
+                  {"tokens_per_s": 200.0, "decode_latency_ms": 1.0}, "new")
+        assert trajectory.check(str(tmp_path)) == []
+
+    def test_no_baseline_is_silent(self, tmp_path):
+        write_doc(tmp_path, "serving", {"tokens_per_s": 1.0}, "new")
+        assert trajectory.check(str(tmp_path)) == []
+
+    def test_ambiguous_metrics_skipped(self, tmp_path):
+        self.seed_baseline(tmp_path, {"workers": 8.0})
+        write_doc(tmp_path, "serving", {"workers": 1.0}, "new")
+        assert trajectory.check(str(tmp_path)) == []
+
+
+class TestCli:
+    def test_update_then_check_exit_codes(self, tmp_path, capsys):
+        write_doc(tmp_path, "serving", {"tokens_per_s": 100.0}, "base")
+        assert trajectory.main(["update", "--results", str(tmp_path)]) == 0
+        write_doc(tmp_path, "serving", {"tokens_per_s": 50.0}, "new")
+        # Default: annotate but stay green (shared-runner noise policy).
+        assert trajectory.main(["check", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning title=benchmark regression::" in out
+        assert trajectory.main(["check", "--results", str(tmp_path),
+                                "--strict"]) == 1

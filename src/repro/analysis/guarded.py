@@ -40,14 +40,17 @@ GUARDED_ATTRS: Dict[str, Tuple[str, FrozenSet[str]]] = {
     "PlanCache": ("_lock", frozenset({
         "_plans", "_order", "_building", "hits", "misses",
     })),
-    "KernelPlan": ("_gather_lock", frozenset({"_gather_cache"})),
+    "KernelPlan": ("_gather_lock", frozenset({
+        "_gather_cache", "_spec_cache",
+    })),
     # core/shm.py — shared-memory publication and the process pool
     "PlanSegmentRegistry": ("_lock", frozenset({"_segments"})),
     "ProcessWorkerPool": ("_lock", frozenset({
         "_workers", "_arena", "_arena_bytes", "_call_seq", "_results",
         "restarts",
     })),
-    # core/executor.py — the atomic stats block behind executor counters
+    # core/specialize.py — the atomic stats block behind executor and
+    # specialization counters (re-exported by core/executor.py)
     "_StatsBlock": ("_lock", frozenset({"_counts"})),
     # server/queue.py — gateway admission bookkeeping
     "RequestLifecycle": ("_lock", frozenset({
@@ -79,6 +82,7 @@ CONSTRUCTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
 PLAN_ARTIFACT_CONSTRUCTORS = frozenset({
     "PreprocessedWeights",  # core/weights.py — offline weight operand
     "_LookupTables",        # core/plan.py — precomputed gather metadata
+    "SpecializedKernel",    # core/specialize.py — compiled codes-dot kernel
 })
 
 #: Parameter/variable names the attribute-write check treats as plan
@@ -92,6 +96,7 @@ PLAN_BUILD_FUNCTIONS = frozenset({"build_plan"})
 #: (everything else must treat the plan as immutable).
 PLAN_BUILD_METHODS = frozenset({
     "__init__", "__post_init__", "_build_lookup_tables_locked",
+    "_build_specialized_locked",
 })
 
 #: A call to any of these counts as freeze evidence inside a function:

@@ -329,6 +329,15 @@ def _plan_checksums(plan) -> Dict[str, int]:
                 seq = getattr(tables, group, None)
                 for i, arr in enumerate(seq or ()):
                     sums[f"{prefix}.{group}[{i}]"] = _array_checksum(arr)
+    spec_cache = getattr(plan, "_spec_cache", None)
+    if spec_cache is not None:
+        # Specialized kernels mostly hold references to arrays already
+        # checksummed above; the scale*zero product is the one artifact
+        # they own, and a mutation there would corrupt every recombine.
+        for key, kernel in list(spec_cache.items()):
+            arr = getattr(kernel, "sz", None)
+            if arr is not None:
+                sums[f"spec[{key}].sz"] = _array_checksum(arr)
     return sums
 
 

@@ -57,6 +57,12 @@ from repro.core.config import TMACConfig
 from repro.core.lut import LookupTable, lookup
 from repro.core.plan import KernelPlan
 from repro.core.shm import ExecutorWorkerError
+from repro.core.specialize import (
+    _StatsBlock,
+    maybe_specialized,
+    reset_specialize_stats,
+    specialize_stats,
+)
 
 __all__ = [
     "KernelExecutor",
@@ -73,6 +79,8 @@ __all__ = [
     "reset_parallel_executor_stats",
     "process_executor_stats",
     "reset_process_executor_stats",
+    "specialize_stats",
+    "reset_specialize_stats",
 ]
 
 
@@ -303,9 +311,19 @@ class VectorizedExecutor(KernelExecutor):
     #: materializing the full ``[N, M, K/g]`` gather at once.
     max_gather_elements = 1 << 24
 
+    def gather_budget(self, config: TMACConfig) -> int:
+        """Raw-gather element budget per chunk for this call.
+
+        ``TMACConfig.chunk_elements`` overrides the class default (a
+        memory/locality knob for the tuner); chunk boundaries never change
+        results.
+        """
+        override = getattr(config, "chunk_elements", None)
+        return override or self.max_gather_elements
+
     def _raw_chunk(
         self,
-        plan: KernelPlan,
+        tables,
         table: LookupTable,
         bit: int,
         j0: int,
@@ -314,8 +332,12 @@ class VectorizedExecutor(KernelExecutor):
         m1: int,
     ) -> np.ndarray:
         """Lookup of one bit plane over groups ``[j0, j1)`` restricted to
-        output columns ``[m0, m1)``: ``[N, m1-m0, j1-j0]``."""
-        tables = plan.lookup_tables(table.mirrored)
+        output columns ``[m0, m1)``: ``[N, m1-m0, j1-j0]``.
+
+        ``tables`` is the plan's gather metadata for ``table.mirrored``,
+        looked up once per call in :meth:`iter_codes_dot_span` instead of
+        once per bit plane per chunk here.
+        """
         n = table.num_rows
         flat = table.values.reshape(n, -1)
         if tables.offsets is not None:
@@ -360,7 +382,21 @@ class VectorizedExecutor(KernelExecutor):
         never mix output columns), so a restricted span yields bitwise the
         columns a full-width run would — regardless of how the chunk walk
         divides the quantization groups.
+
+        When the config enables specialization (the default), the span is
+        delegated to the plan's compiled kernel — bit-identical to the
+        generic walk below, which remains both the fallback
+        (``specialize=False``) and the reference the specialized kernels
+        are tested against.
         """
+        spec = maybe_specialized(plan, table, config)
+        if spec is not None:
+            yield from spec.iter_span(
+                table, group_sums, m0, m1,
+                max_elements or self.gather_budget(config))
+            return
+
+        tables = plan.lookup_tables(table.mirrored)
         n = table.num_rows
         m = m1 - m0
         qgroups = plan.num_qgroups
@@ -372,7 +408,7 @@ class VectorizedExecutor(KernelExecutor):
         # intact) so one raw temporary never exceeds the element budget —
         # per *call*: the parallel executor passes a per-shard budget so
         # its concurrent spans together still respect the default bound.
-        budget = max_elements or self.max_gather_elements
+        budget = max_elements or self.gather_budget(config)
         per_qgroup = n * m * gpq
         qg_chunk = max(1, min(qgroups, budget // max(1, per_qgroup)))
 
@@ -380,8 +416,8 @@ class VectorizedExecutor(KernelExecutor):
             qg1 = min(qg0 + qg_chunk, qgroups)
             chunk = np.zeros((n, m, qg1 - qg0), dtype=np.float64)
             for bit in range(plan.bits):
-                raw = self._raw_chunk(plan, table, bit, qg0 * gpq, qg1 * gpq,
-                                      m0, m1)
+                raw = self._raw_chunk(tables, table, bit, qg0 * gpq,
+                                      qg1 * gpq, m0, m1)
                 blocked = raw.reshape(n, m, qg1 - qg0, gpq)
 
                 if not table.quantized:
@@ -406,6 +442,24 @@ class VectorizedExecutor(KernelExecutor):
                     alpha * partial + beta * group_sums[:, None, qg0:qg1]
                 )
             yield qg0, qg1, chunk
+
+    def _recombine_span(
+        self,
+        plan: KernelPlan,
+        table: LookupTable,
+        config: TMACConfig,
+        group_sums: np.ndarray,
+        m0: int,
+        m1: int,
+        max_elements: int = 0,
+    ) -> np.ndarray:
+        spec = maybe_specialized(plan, table, config)
+        if spec is not None:
+            return spec.recombine_span(
+                table, group_sums, m0, m1,
+                max_elements or self.gather_budget(config))
+        return super()._recombine_span(plan, table, config, group_sums,
+                                       m0, m1, max_elements)
 
 
 # --------------------------------------------------------------------- #
@@ -446,34 +500,6 @@ def shutdown_worker_pools() -> None:
         _WORKER_POOLS.clear()
     for pool in pools:
         pool.shutdown(wait=True)
-
-
-class _StatsBlock:
-    """Lock-protected counter block with atomic ``snapshot`` / ``reset``.
-
-    One lock covers every counter, so a snapshot taken mid-benchmark is
-    internally consistent (all keys from the same instant) and a reset
-    between benchmark phases can never interleave with a half-applied
-    update — the stats-bleed the benchmarks used to suffer from.
-    """
-
-    def __init__(self, keys):
-        self._lock = threading.Lock()
-        self._counts: Dict[str, int] = {key: 0 for key in keys}
-
-    def add(self, **deltas: int) -> None:
-        with self._lock:
-            for key, delta in deltas.items():
-                self._counts[key] += delta
-
-    def snapshot(self) -> Dict[str, int]:
-        with self._lock:
-            return dict(self._counts)
-
-    def reset(self) -> None:
-        with self._lock:
-            for key in self._counts:
-                self._counts[key] = 0
 
 
 _PARALLEL_STATS = _StatsBlock((
@@ -582,7 +608,7 @@ class ParallelExecutor(VectorizedExecutor):
         out = np.empty((n, plan.out_features), dtype=np.float32)
         # Split the raw-temporary element budget across the concurrent
         # shards so total transient memory matches the serial bound.
-        span_budget = max(1, self.max_gather_elements // len(shards))
+        span_budget = max(1, self.gather_budget(config) // len(shards))
 
         def run_shard(span) -> None:
             m0, m1 = span
@@ -677,7 +703,7 @@ class ProcessExecutor(VectorizedExecutor):
                     plan, table, delegated, activation)
 
         group_sums = activation.reshape(n, plan.num_qgroups, -1).sum(axis=2)
-        span_budget = max(1, self.max_gather_elements // len(shards))
+        span_budget = max(1, self.gather_budget(config) // len(shards))
         pool = shm.get_process_pool(workers)
         try:
             with plan_canary(plan):

@@ -182,7 +182,8 @@ class TMACKernel:
         a = self._check_activation(activation)
         squeeze = np.asarray(activation).ndim == 1
         table = self.precompute(a)
-        out = self.executor.matmul_with_table(self.plan, table, self.config, a)
+        config, executor = self._execution(a)
+        out = executor.matmul_with_table(self.plan, table, config, a)
         return out[0] if squeeze else out
 
     __call__ = matmul
@@ -202,7 +203,8 @@ class TMACKernel:
         a = self._check_activation(activation)
         squeeze = np.asarray(activation).ndim == 1
         self._check_table(table, a)
-        out = self.executor.matmul_with_table(self.plan, table, self.config, a)
+        config, executor = self._execution(a)
+        out = executor.matmul_with_table(self.plan, table, config, a)
         return out[0] if squeeze else out
 
     def matmul_codes(self, activation: np.ndarray) -> np.ndarray:
@@ -225,6 +227,24 @@ class TMACKernel:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _execution(self, a: np.ndarray):
+        """The ``(config, executor)`` pair actually used for this dispatch.
+
+        Normally the kernel's own binding; under ``REPRO_AUTOTUNE=1`` the
+        shape autotuner (:mod:`repro.tuning.tuner`, backed by the host
+        calibration profile) may rewrite the executor, worker count and
+        chunk budget per activation shape.  Autotuning never changes
+        numerics — every executor is bit-identical — only dispatch.
+        """
+        from repro.tuning.tuner import autotune_enabled, resolve_autotuned
+
+        if not autotune_enabled():
+            return self.config, self.executor
+        config = resolve_autotuned(self.plan, self.config, a.shape[0])
+        if config is self.config:
+            return self.config, self.executor
+        return config, get_executor(config.executor)
 
     def _check_table(self, table: LookupTable, activation: np.ndarray) -> None:
         """Reject externally supplied tables this kernel cannot consume."""

@@ -165,9 +165,18 @@ class KernelPlan:
     _gather_cache: Dict[bool, _LookupTables] = field(
         default_factory=dict, repr=False
     )
-    #: Serializes the lazy gather-metadata build: the parallel executor's
-    #: workers (and concurrent serving requests) may race into
-    #: :meth:`lookup_tables` for one shared plan.
+    #: Specialization key -> compiled codes-dot kernel
+    #: (:class:`~repro.core.specialize.SpecializedKernel`).  Lazily built,
+    #: guarded by the same lock as the gather tables, and owned by the
+    #: plan: evicting the plan from the :class:`PlanCache` releases every
+    #: compiled kernel with it (the kernels hold no reference back).
+    _spec_cache: Dict[tuple, object] = field(
+        default_factory=dict, repr=False
+    )
+    #: Serializes the lazy gather-metadata and specialized-kernel builds:
+    #: the parallel executor's workers (and concurrent serving requests)
+    #: may race into :meth:`lookup_tables` / :meth:`specialized` for one
+    #: shared plan.
     _gather_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -307,6 +316,41 @@ class KernelPlan:
                                signs=signs, offsets=offsets)
         self._gather_cache[mirrored] = tables
         return tables
+
+    def specialized(self, key) -> object:
+        """The compiled codes-dot kernel for ``key`` (lazily built).
+
+        Thread-safe and single-flight like :meth:`lookup_tables`:
+        concurrent executor workers racing on one plan compile each
+        distinct :class:`~repro.core.specialize.SpecializationKey`
+        exactly once and all receive the same kernel object.
+        """
+        # Benign double-checked read: dict.get is atomic under the GIL and
+        # entries are only ever added (never mutated or removed), so a
+        # stale miss just falls through to the locked slow path.
+        # repro-lint: disable=lock-guard -- lock-free fast path; misses fall through to the locked build
+        cached = self._spec_cache.get(key)
+        if cached is not None:
+            return cached
+        with self._gather_lock:
+            return self._build_specialized_locked(key)
+
+    def _build_specialized_locked(self, key) -> object:
+        cached = self._spec_cache.get(key)
+        if cached is not None:
+            return cached
+        # Imported lazily: specialize is a leaf module, but keeping the
+        # import out of module scope lets plan.py load without it in
+        # pickling-restricted worker contexts.
+        from repro.core.specialize import compile_specialized
+
+        # Build the gather tables with the lock already held (re-entering
+        # lookup_tables() here would self-deadlock on the non-reentrant
+        # plan lock).
+        tables = self._build_lookup_tables_locked(key.mirrored)
+        kernel = compile_specialized(self, key, tables)
+        self._spec_cache[key] = kernel
+        return kernel
 
     def compatible_with(self, config: TMACConfig) -> bool:
         """Whether this plan can execute under ``config``.

@@ -355,6 +355,11 @@ class _WorkerPlan:
         self._tables = _LookupTables(stored=manifest["stored"],
                                      folded=folded, signs=signs,
                                      offsets=offsets)
+        #: Specialization key -> compiled kernel, mirroring
+        #: :meth:`KernelPlan.specialized`.  The worker loop is
+        #: single-threaded, so no lock is needed; the cache lives as long
+        #: as this reconstruction does (evicted with the plan entry).
+        self._spec_cache: dict = {}
 
     def lookup_tables(self, mirrored: bool):
         if bool(mirrored) != self.mirrored:
@@ -363,6 +368,17 @@ class _WorkerPlan:
                 f"call requires mirrored={mirrored}"
             )
         return self._tables
+
+    def specialized(self, key):
+        """Worker-side specialization cache (single-threaded, lock-free)."""
+        cached = self._spec_cache.get(key)
+        if cached is None:
+            from repro.core.specialize import compile_specialized
+
+            cached = compile_specialized(self, key,
+                                         self.lookup_tables(key.mirrored))
+            self._spec_cache[key] = cached
+        return cached
 
 
 def _worker_attach(cache: dict, name: str):
@@ -389,7 +405,7 @@ def _execute_shard(plans: dict, seg_cache: dict, task: tuple) -> None:
     from repro.core.lut import LookupTable
 
     (_, _call_id, _shard, plan_key, manifest, arena_name, layout,
-     table_meta, m0, m1, span_budget, fast_aggregation) = task
+     table_meta, m0, m1, span_budget, exec_opts) = task
 
     plan = plans.get(plan_key)
     if plan is None:
@@ -423,7 +439,10 @@ def _execute_shard(plans: dict, seg_cache: dict, task: tuple) -> None:
                         quantized=quantized, scales=scales,
                         scale_block=scale_block, s0=s0, s1=s1,
                         act_dtype=act_dtype)
-    config = SimpleNamespace(fast_aggregation=fast_aggregation)
+    fast_aggregation, specialize, lut_dtype, gather_variant = exec_opts
+    config = SimpleNamespace(fast_aggregation=fast_aggregation,
+                             specialize=specialize, lut_dtype=lut_dtype,
+                             gather_variant=gather_variant)
     executor = VectorizedExecutor()
     # Assignment into the float32 slice rounds exactly like the serial
     # path's final astype(float32) — same property the thread pool uses.
@@ -668,16 +687,25 @@ class ProcessWorkerPool:
             table_meta = (table.g, table.mirrored, table.quantized,
                           table.scale_block, table.s0, table.s1,
                           table.act_dtype)
+            # The execution flags the span pipeline reads off the config.
+            # The gather variant is resolved here (in the parent, where a
+            # calibration profile may have set the host preference) so
+            # every worker runs the same driver.
+            from repro.core.specialize import resolve_gather_variant
+
+            exec_opts = (bool(config.fast_aggregation),
+                         bool(getattr(config, "specialize", False)),
+                         getattr(config, "lut_dtype", "float"),
+                         resolve_gather_variant(config))
             pending: Dict[int, Tuple[int, int]] = {
                 i: span for i, span in enumerate(shards)
             }
             self._submit_locked(pending, call_id, plan_key, manifest,
                                 layout, table_meta, span_budget,
-                                config.fast_aggregation)
+                                exec_opts)
             retried = self._await_locked(pending, call_id, plan_key,
                                          manifest, layout, table_meta,
-                                         span_budget,
-                                         config.fast_aggregation)
+                                         span_budget, exec_opts)
             result = np.array(_view(self._arena.buf, layout["out"]))
             if retried:
                 # Resubmission may have left duplicate shard tasks in
@@ -689,7 +717,7 @@ class ProcessWorkerPool:
             return result
 
     def _submit_locked(self, pending, call_id, plan_key, manifest, layout,
-                table_meta, span_budget, fast_aggregation) -> None:
+                table_meta, span_budget, exec_opts) -> None:
         for i, (m0, m1) in sorted(pending.items()):
             worker = self._workers[i % len(self._workers)]
             announce = plan_key not in worker.announced
@@ -698,11 +726,11 @@ class ProcessWorkerPool:
                 "call", call_id, i, plan_key,
                 manifest if announce else None,
                 self._arena.name, layout, table_meta, m0, m1,
-                span_budget, fast_aggregation,
+                span_budget, exec_opts,
             ))
 
     def _await_locked(self, pending, call_id, plan_key, manifest, layout,
-               table_meta, span_budget, fast_aggregation) -> int:
+               table_meta, span_budget, exec_opts) -> int:
         """Wait for the call's shards; returns the respawn-round count."""
         deadline = time.monotonic() + self.call_timeout_s
         retries = 0
@@ -734,7 +762,7 @@ class ProcessWorkerPool:
                     self._ensure_workers_locked(count_restarts=False)
                     self._submit_locked(pending, call_id, plan_key,
                                         manifest, layout, table_meta,
-                                        span_budget, fast_aggregation)
+                                        span_budget, exec_opts)
                 if time.monotonic() > deadline:
                     self._reset_locked()
                     raise ExecutorWorkerError(

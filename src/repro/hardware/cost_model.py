@@ -44,6 +44,7 @@ __all__ = [
     "SHM_COPY_BANDWIDTH",
     "THREAD_POOL_GIL_FRACTION",
     "pool_dispatch_choice",
+    "process_ipc_overhead_seconds",
 ]
 
 #: Slow-down applied to lookup instructions when the tables live in L1/L2
@@ -68,6 +69,41 @@ SHM_COPY_BANDWIDTH = 8e9  # bytes/s
 #: thread-scaling run reaches 1.18x on 2 threads — i.e. ~18% of the second
 #: thread was usable.  Worker processes do not pay this tax.
 THREAD_POOL_GIL_FRACTION = 0.18
+
+
+def process_ipc_overhead_seconds(
+    n: int,
+    m: int,
+    k: int,
+    config: TMACConfig,
+    workers: int,
+    group_size: int = 128,
+) -> float:
+    """Per-call overhead of the process executor over the thread one.
+
+    The plan's weight artifacts live in shared memory and cost nothing
+    per call; what remains is the fixed dispatch cost, one queue
+    round-trip per shard, and the copies through the scratch arena —
+    the activation lookup table (plus its dynamic scales), the
+    per-quantization-group activation sums, and the output read back.
+    Device-independent (pure shape arithmetic over the pool constants),
+    so the autotuner shares it with :class:`CostModel`.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    groups = k // config.g
+    lut_bytes = n * groups * config.table_length * config.table_entry_bytes
+    if config.table_quantization:
+        blocks = groups // (group_size // config.g
+                            if config.lut_scale_granularity == "group"
+                            else 1)
+        lut_bytes += n * max(1, blocks) * 4  # float32 dynamic scales
+    sums_bytes = n * (k // group_size) * 4  # float32 group sums
+    out_bytes = n * m * 4  # float32 result, copied back out
+    moved = lut_bytes + sums_bytes + out_bytes
+    return (PROCESS_DISPATCH_OVERHEAD_S
+            + workers * PROCESS_SHARD_OVERHEAD_S
+            + moved / SHM_COPY_BANDWIDTH)
 
 
 @dataclass(frozen=True)
@@ -99,6 +135,13 @@ class CostModel:
     ----------
     device:
         The :class:`~repro.hardware.device.Device` to model.
+    calibration:
+        Optional measured host profile
+        (:class:`~repro.hardware.calibrate.CalibrationProfile`).  When
+        given, :meth:`pool_dispatch_choice` anchors its serial-latency
+        term to the measured fit instead of the roofline estimate, so
+        thread-vs-process decisions reflect the machine actually running
+        the kernels rather than the modelled device.
 
     Examples
     --------
@@ -110,9 +153,10 @@ class CostModel:
     True
     """
 
-    def __init__(self, device: Device):
+    def __init__(self, device: Device, calibration=None):
         self.device = device
         self.memory = MemoryModel(device.cpu)
+        self.calibration = calibration
 
     # ------------------------------------------------------------------ #
     # Core roofline
@@ -297,27 +341,11 @@ class CostModel:
     ) -> float:
         """Per-call overhead of the process executor over the thread one.
 
-        The plan's weight artifacts live in shared memory and cost nothing
-        per call; what remains is the fixed dispatch cost, one queue
-        round-trip per shard, and the copies through the scratch arena —
-        the activation lookup table (plus its dynamic scales), the
-        per-quantization-group activation sums, and the output read back.
+        Delegates to :func:`process_ipc_overhead_seconds` (the term is
+        pure shape arithmetic, shared with the autotuner).
         """
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        groups = k // config.g
-        lut_bytes = n * groups * config.table_length * config.table_entry_bytes
-        if config.table_quantization:
-            blocks = groups // (group_size // config.g
-                                if config.lut_scale_granularity == "group"
-                                else 1)
-            lut_bytes += n * max(1, blocks) * 4  # float32 dynamic scales
-        sums_bytes = n * (k // group_size) * 4  # float32 group sums
-        out_bytes = n * m * 4  # float32 result, copied back out
-        moved = lut_bytes + sums_bytes + out_bytes
-        return (PROCESS_DISPATCH_OVERHEAD_S
-                + workers * PROCESS_SHARD_OVERHEAD_S
-                + moved / SHM_COPY_BANDWIDTH)
+        return process_ipc_overhead_seconds(n, m, k, config, workers,
+                                            group_size)
 
     def tmac_process_gemm_latency(
         self,
@@ -397,6 +425,16 @@ class CostModel:
                                         tile_config=tile_config).seconds
         ideal = self.tmac_parallel_gemm_latency(
             n, m, k, config, workers, group_size, tile_config).seconds
+        if self.calibration is not None and serial > 0:
+            # Keep the roofline's *relative* parallel-efficiency structure
+            # but anchor the absolute scale to the measured host fit: the
+            # IPC term below is absolute seconds, so comparing it against
+            # modelled seconds of a different machine would skew the
+            # break-even shape.
+            measured = self.calibration.predict_gemm_seconds(
+                n, m, k, config, group_size)
+            ideal *= measured / serial
+            serial = measured
         ideal_speedup = serial / ideal if ideal > 0 else 1.0
         gil_speedup = 1.0 + (ideal_speedup - 1.0) * THREAD_POOL_GIL_FRACTION
         thread_s = serial / max(1.0, gil_speedup)

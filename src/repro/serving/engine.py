@@ -65,6 +65,7 @@ import numpy as np
 from repro.core.executor import (
     parallel_executor_stats,
     process_executor_stats,
+    specialize_stats,
 )
 from repro.core.plan import plan_cache_stats
 from repro.kvcache import OutOfBlocks, PagePool
@@ -810,6 +811,7 @@ class ServingEngine:
         # the scope.
         out.update(parallel_executor_stats())
         out.update(process_executor_stats())
+        out.update(specialize_stats())
         if self.pool is not None:
             out.update(self.pool.stats())
             out["peak_shared_blocks"] = self._peak_shared_blocks
